@@ -1,0 +1,67 @@
+package repro_test
+
+// One benchmark per experiment in the evaluation suite (the paper has no
+// numbered tables/figures; DESIGN.md §3 maps each experiment to the
+// paper section whose claim it tests). Each benchmark regenerates its
+// experiment end to end, so `go test -bench=. -benchmem` reproduces the
+// entire evaluation; cmd/tussle-bench prints the same tables with
+// findings.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+const benchSeed = 42
+
+func benchExperiment(b *testing.B, run func(uint64) *experiments.Result) {
+	b.ReportAllocs()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		last = run(benchSeed)
+	}
+	if last == nil || len(last.Rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+}
+
+func BenchmarkE1NamingIsolation(b *testing.B)  { benchExperiment(b, experiments.E1NamingIsolation) }
+func BenchmarkE2QoSIsolation(b *testing.B)     { benchExperiment(b, experiments.E2QoSIsolation) }
+func BenchmarkE3ProviderLockin(b *testing.B)   { benchExperiment(b, experiments.E3ProviderLockin) }
+func BenchmarkE4ValuePricing(b *testing.B)     { benchExperiment(b, experiments.E4ValuePricing) }
+func BenchmarkE5OpenAccess(b *testing.B)       { benchExperiment(b, experiments.E5OpenAccess) }
+func BenchmarkE6RoutingControl(b *testing.B)   { benchExperiment(b, experiments.E6RoutingControl) }
+func BenchmarkE7TrustFirewall(b *testing.B)    { benchExperiment(b, experiments.E7TrustFirewall) }
+func BenchmarkE8Anonymity(b *testing.B)        { benchExperiment(b, experiments.E8Anonymity) }
+func BenchmarkE9EndToEnd(b *testing.B)         { benchExperiment(b, experiments.E9EndToEnd) }
+func BenchmarkE10Encryption(b *testing.B)      { benchExperiment(b, experiments.E10Encryption) }
+func BenchmarkE11QoSDeployment(b *testing.B)   { benchExperiment(b, experiments.E11QoSDeployment) }
+func BenchmarkE12ActorChurn(b *testing.B)      { benchExperiment(b, experiments.E12ActorChurn) }
+func BenchmarkE13Mechanisms(b *testing.B)      { benchExperiment(b, experiments.E13Mechanisms) }
+func BenchmarkE14Overlay(b *testing.B)         { benchExperiment(b, experiments.E14Overlay) }
+func BenchmarkE15Multicast(b *testing.B)       { benchExperiment(b, experiments.E15Multicast) }
+func BenchmarkE16Visibility(b *testing.B)      { benchExperiment(b, experiments.E16Visibility) }
+func BenchmarkE17Congestion(b *testing.B)      { benchExperiment(b, experiments.E17Congestion) }
+func BenchmarkE18Byzantine(b *testing.B)       { benchExperiment(b, experiments.E18Byzantine) }
+func BenchmarkE19MailChoice(b *testing.B)      { benchExperiment(b, experiments.E19MailChoice) }
+func BenchmarkE20Steganography(b *testing.B)   { benchExperiment(b, experiments.E20Steganography) }
+func BenchmarkE21EndToEnd(b *testing.B)        { benchExperiment(b, experiments.E21EndToEndReliability) }
+func BenchmarkE22FiberSharing(b *testing.B)    { benchExperiment(b, experiments.E22FiberSharing) }
+func BenchmarkE23PolicyMechanism(b *testing.B) { benchExperiment(b, experiments.E23PolicyMechanism) }
+func BenchmarkE24Delegation(b *testing.B)      { benchExperiment(b, experiments.E24DelegatedControls) }
+func BenchmarkE25Multihoming(b *testing.B)     { benchExperiment(b, experiments.E25Multihoming) }
+func BenchmarkE26OverlayVsIntegrated(b *testing.B) {
+	benchExperiment(b, experiments.E26OverlayVsIntegrated)
+}
+
+// BenchmarkAllExperiments runs the full suite as one unit — the shape of
+// a complete evaluation regeneration.
+func BenchmarkAllExperiments(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rs := experiments.All(benchSeed); len(rs) != 26 {
+			b.Fatal("suite incomplete")
+		}
+	}
+}

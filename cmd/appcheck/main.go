@@ -1,0 +1,155 @@
+// Command appcheck audits an application design against the paper's
+// application design guidelines (§VI-A: "we should generate 'application
+// design guidelines' that would help designers avoid pitfalls, and deal
+// with the tussles of success").
+//
+// Usage:
+//
+//	appcheck design.json
+//	appcheck -example        # print a template design and exit
+//
+// The input is a JSON description of the design's choice points,
+// mechanisms, third parties, and properties; the output is a pass/fail
+// report per guideline with the paper's advice attached, and a non-zero
+// exit status when any guideline fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+// designFile is the JSON schema for an application design.
+type designFile struct {
+	Name    string `json:"name"`
+	Choices []struct {
+		Name         string `json:"name"`
+		Chooser      string `json:"chooser"` // user|isp|government|rights-holder|content-provider|private-network
+		Alternatives int    `json:"alternatives"`
+		Visible      bool   `json:"visible"`
+		CostExposed  bool   `json:"cost_exposed"`
+	} `json:"choices"`
+	Mechanisms []struct {
+		Name    string   `json:"name"`
+		Space   string   `json:"space"`
+		Couples []string `json:"couples,omitempty"`
+		Visible bool     `json:"visible"`
+	} `json:"mechanisms"`
+	ThirdParties []struct {
+		Name       string `json:"name"`
+		Selectable bool   `json:"selectable"`
+	} `json:"third_parties"`
+	UserControlsNetworkFeatures bool `json:"user_controls_network_features"`
+	IntermediariesVisible       bool `json:"intermediaries_visible"`
+	EndToEndEncryption          bool `json:"end_to_end_encryption"`
+	NeedsValueFlow              bool `json:"needs_value_flow"`
+	HasValueFlow                bool `json:"has_value_flow"`
+}
+
+var kinds = map[string]core.Kind{
+	"user": core.User, "isp": core.ISP, "government": core.Government,
+	"rights-holder": core.RightsHolder, "content-provider": core.ContentProvider,
+	"private-network": core.PrivateNetwork,
+}
+
+func toAppDesign(df *designFile) (*core.AppDesign, error) {
+	app := &core.AppDesign{
+		Design:                      core.Design{Name: df.Name},
+		UserControlsNetworkFeatures: df.UserControlsNetworkFeatures,
+		IntermediariesVisible:       df.IntermediariesVisible,
+		EndToEndEncryption:          df.EndToEndEncryption,
+		NeedsValueFlow:              df.NeedsValueFlow,
+		HasValueFlow:                df.HasValueFlow,
+	}
+	for _, c := range df.Choices {
+		kind, ok := kinds[c.Chooser]
+		if !ok {
+			return nil, fmt.Errorf("choice %q: unknown chooser %q", c.Name, c.Chooser)
+		}
+		app.Choices = append(app.Choices, core.ChoicePoint{
+			Name: c.Name, Chooser: kind, Alternatives: c.Alternatives,
+			Visible: c.Visible, CostExposed: c.CostExposed,
+		})
+	}
+	for _, m := range df.Mechanisms {
+		mech := &core.Mechanism{Name: m.Name, Space: core.Space(m.Space), Visible: m.Visible}
+		for _, sp := range m.Couples {
+			mech.Couples = append(mech.Couples, core.Space(sp))
+		}
+		app.Mechanisms = append(app.Mechanisms, mech)
+	}
+	for _, tp := range df.ThirdParties {
+		app.ThirdParties = append(app.ThirdParties, core.ThirdParty{Name: tp.Name, Selectable: tp.Selectable})
+	}
+	return app, nil
+}
+
+const exampleDesign = `{
+  "name": "example-mail-app",
+  "choices": [
+    {"name": "smtp-server", "chooser": "user", "alternatives": 8, "visible": true, "cost_exposed": true},
+    {"name": "pop-server", "chooser": "user", "alternatives": 4, "visible": true, "cost_exposed": true}
+  ],
+  "mechanisms": [
+    {"name": "server-selection", "space": "apps", "visible": true},
+    {"name": "spam-filtering", "space": "apps", "visible": true}
+  ],
+  "third_parties": [
+    {"name": "reputation-service", "selectable": true}
+  ],
+  "user_controls_network_features": true,
+  "intermediaries_visible": true,
+  "end_to_end_encryption": true,
+  "needs_value_flow": false,
+  "has_value_flow": false
+}
+`
+
+func main() {
+	example := flag.Bool("example", false, "print a template design and exit")
+	flag.Parse()
+	if *example {
+		fmt.Print(exampleDesign)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: appcheck design.json | appcheck -example")
+		os.Exit(64)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	var df designFile
+	if err := json.Unmarshal(raw, &df); err != nil {
+		fatal("parse %s: %v", flag.Arg(0), err)
+	}
+	app, err := toAppDesign(&df)
+	if err != nil {
+		fatal("%v", err)
+	}
+	report := core.CheckGuidelines(app)
+	fmt.Printf("design %q: %d/%d guidelines satisfied (%.0f%%)\n\n",
+		app.Name, report.Passed(), len(report.Findings), report.Score()*100)
+	failed := 0
+	for _, f := range report.Findings {
+		mark := "PASS"
+		if !f.Passed {
+			mark = "FAIL"
+			failed++
+		}
+		fmt.Printf("  [%s] %-24s %s\n", mark, f.Rule, f.Detail)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "appcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

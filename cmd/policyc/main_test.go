@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want policy.Value
+	}{
+		{"42", policy.Num(42)},
+		{"-1.5", policy.Num(-1.5)},
+		{"true", policy.Bool(true)},
+		{"false", policy.Bool(false)},
+		{"hello", policy.Str("hello")},
+		{"80x", policy.Str("80x")},
+	}
+	for _, c := range cases {
+		if got := parseValue(c.in); !got.Equal(c.want) {
+			t.Errorf("parseValue(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDefaultOf(t *testing.T) {
+	withDefault, err := policy.Parse(`policy "a" { default permit }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaultOf(withDefault) != "permit" {
+		t.Fatal("explicit default wrong")
+	}
+	without, err := policy.Parse(`policy "b" { rule r { when x == 1 then permit } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defaultOf(without) != "deny (implicit)" {
+		t.Fatal("implicit default wrong")
+	}
+}

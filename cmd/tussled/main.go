@@ -1,0 +1,71 @@
+// Command tussled runs tussle scenarios on the core engine and prints
+// the round-by-round move history with the framework's metrics (control
+// balance, distortion rate, visibility audit).
+//
+// Usage:
+//
+//	tussled [-scenario NAME] [-rounds N] [-list]
+//
+// Scenarios live in internal/scenarios; -list enumerates them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/scenarios"
+)
+
+func main() {
+	scenario := flag.String("scenario", "value-pricing", "scenario name (see -list)")
+	rounds := flag.Int("rounds", 12, "tussle rounds to run")
+	list := flag.Bool("list", false, "list available scenarios")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(scenarios.Names(), "\n"))
+		return
+	}
+	e, err := scenarios.Build(*scenario)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tussled: %v\n", err)
+		os.Exit(64)
+	}
+	e.Run(*rounds)
+
+	fmt.Printf("scenario %q after %d rounds\n\n", *scenario, *rounds)
+	fmt.Println("history:")
+	for _, h := range e.History {
+		action := ""
+		if h.Move.Deploy != nil {
+			action = "deploy " + h.Move.Deploy.Name
+			if h.Move.Deploy.Distortion {
+				action += " (distortion)"
+			}
+		}
+		if h.Move.Withdraw != "" {
+			if action != "" {
+				action += ", "
+			}
+			action += "withdraw " + h.Move.Withdraw
+		}
+		fmt.Printf("  round %2d  %-14s %-44s %s\n", h.Round, h.Actor, action, h.Move.Note)
+	}
+	fmt.Println("\nutilities:")
+	for _, s := range e.Stakeholders {
+		fmt.Printf("  %-14s (%v): %.1f\n", s.Name, s.Kind, s.Utility)
+	}
+	st := e.State()
+	fmt.Printf("\nmetrics: %s\n", e.Summary())
+	fmt.Printf("  control balance (user - isp): %+.1f\n", e.ControlBalance(core.User, core.ISP))
+	fmt.Printf("  distortion rate:              %.2f\n", core.DistortionRate(st))
+	fmt.Printf("  visibility audit:             %.2f\n", core.VisibilityAudit(st))
+	if e.Stable(3) {
+		fmt.Println("  tussle quiescent (no moves in last 3 rounds) — for now")
+	} else {
+		fmt.Println("  tussle still in motion — no final outcome")
+	}
+}

@@ -1,0 +1,251 @@
+// Package actornet implements the actor-network model the paper draws
+// from Latour and Callon (§II-A, §II-C): a network of human and nonhuman
+// actors whose mutual alignment makes the whole socio-technical system
+// durable. Two claims from the paper are made operational:
+//
+//   - "the network gets harder to change as it grows up": the probability
+//     that an architectural change succeeds falls as alignment rises;
+//   - "the entrance of new actors ... creates continuous churn in the
+//     actor network, which keeps the actor network from becoming frozen":
+//     each entrant perturbs the alignments around its attachment points,
+//     and when entry stops the network freezes.
+package actornet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Kind distinguishes human from nonhuman actors — the model gives them
+// "equal attention as shapers" (§II-A).
+type Kind uint8
+
+// Actor kinds.
+const (
+	Human Kind = iota
+	Technology
+	Institution
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Human:
+		return "human"
+	case Technology:
+		return "technology"
+	default:
+		return "institution"
+	}
+}
+
+// Actor is one participant in the socio-technical network.
+type Actor struct {
+	Name   string
+	Kind   Kind
+	Joined int // round of entry
+}
+
+// Network is the actor network.
+type Network struct {
+	rng    *sim.RNG
+	actors map[string]*Actor
+	// align[a][b] in [0,1] measures the commitment between two actors.
+	align map[string]map[string]float64
+	Round int
+
+	// HarmonizationRate is how fast aligned pairs converge per round.
+	HarmonizationRate float64
+	// Perturbation is how much a new entrant disturbs the alignments
+	// around its attachment points.
+	Perturbation float64
+
+	// Entries counts actors that joined after construction;
+	// ChangesTried/ChangesWon track architectural change attempts.
+	Entries, ChangesTried, ChangesWon int
+
+	entrySeq int
+}
+
+// New creates an empty network with the default dynamics.
+func New(rng *sim.RNG) *Network {
+	return &Network{
+		rng:               rng,
+		actors:            make(map[string]*Actor),
+		align:             make(map[string]map[string]float64),
+		HarmonizationRate: 0.05,
+		Perturbation:      0.35,
+	}
+}
+
+// AddActor inserts an actor; duplicate names panic (a wiring bug).
+func (n *Network) AddActor(name string, kind Kind) *Actor {
+	if _, dup := n.actors[name]; dup {
+		panic(fmt.Sprintf("actornet: duplicate actor %q", name))
+	}
+	a := &Actor{Name: name, Kind: kind, Joined: n.Round}
+	n.actors[name] = a
+	n.align[name] = make(map[string]float64)
+	return a
+}
+
+// Align sets the mutual alignment between two actors.
+func (n *Network) Align(a, b string, v float64) {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	n.align[a][b] = v
+	n.align[b][a] = v
+}
+
+// Alignment returns the current alignment between two actors.
+func (n *Network) Alignment(a, b string) float64 { return n.align[a][b] }
+
+// Actors returns the actor names in deterministic order.
+func (n *Network) Actors() []string {
+	out := make([]string, 0, len(n.actors))
+	for name := range n.actors {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// neighbors returns a's alignment partners in deterministic order.
+func (n *Network) neighbors(a string) []string {
+	out := make([]string, 0, len(n.align[a]))
+	for other := range n.align[a] {
+		out = append(out, other)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Durability is the mean alignment across all edges — the Latour
+// "society made durable" metric. An edgeless network has durability 0.
+func (n *Network) Durability() float64 {
+	total, count := 0.0, 0
+	for _, name := range n.Actors() {
+		for _, other := range n.neighbors(name) {
+			if other > name { // count each edge once
+				total += n.align[name][other]
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// Step advances one round: aligned pairs harmonize toward full
+// commitment, and with probability entryRate a new actor enters,
+// attaching to a few existing actors and perturbing the alignments
+// around them.
+func (n *Network) Step(entryRate float64) {
+	n.Round++
+	// Harmonization: all existing edges drift toward 1.
+	for _, name := range n.Actors() {
+		for _, other := range n.neighbors(name) {
+			if other > name {
+				nv := n.align[name][other] + n.HarmonizationRate*(1-n.align[name][other])
+				n.align[name][other] = nv
+				n.align[other][name] = nv
+			}
+		}
+	}
+	if n.rng.Bool(entryRate) && len(n.actors) > 0 {
+		n.enter()
+	}
+}
+
+// enter admits a new actor, attaching it to up to three existing actors
+// and perturbing their other relationships — fresh perspectives
+// destabilize settled arrangements.
+func (n *Network) enter() {
+	n.entrySeq++
+	n.Entries++
+	name := fmt.Sprintf("entrant-%d", n.entrySeq)
+	kinds := []Kind{Human, Technology, Institution}
+	a := n.AddActor(name, kinds[n.rng.Intn(len(kinds))])
+	existing := n.Actors()
+	attach := 3
+	if attach > len(existing)-1 {
+		attach = len(existing) - 1
+	}
+	perm := n.rng.Perm(len(existing))
+	attached := 0
+	for _, idx := range perm {
+		target := existing[idx]
+		if target == name {
+			continue
+		}
+		n.Align(name, target, n.rng.Range(0.05, 0.3))
+		// The attachment point's other relationships loosen.
+		for _, other := range n.neighbors(target) {
+			if other == name {
+				continue
+			}
+			nv := n.align[target][other] * (1 - n.Perturbation)
+			n.align[target][other] = nv
+			n.align[other][target] = nv
+		}
+		attached++
+		if attached >= attach {
+			break
+		}
+	}
+	_ = a
+}
+
+// AttemptChange models trying to change the architecture: success
+// probability is 1 - Durability. The paper's paradox in one line —
+// stability is valuable to society and frustrating to technologists.
+func (n *Network) AttemptChange() bool {
+	n.ChangesTried++
+	if n.rng.Float64() < 1-n.Durability() {
+		n.ChangesWon++
+		return true
+	}
+	return false
+}
+
+// ChangeSuccessRate reports the empirical fraction of successful change
+// attempts.
+func (n *Network) ChangeSuccessRate() float64 {
+	if n.ChangesTried == 0 {
+		return 0
+	}
+	return float64(n.ChangesWon) / float64(n.ChangesTried)
+}
+
+// Frozen reports whether the network's durability exceeds the threshold
+// — "a freezing of the actor network, and a freezing of the Internet"
+// (§II-C).
+func (n *Network) Frozen(threshold float64) bool {
+	return n.Durability() >= threshold
+}
+
+// SeedInternet builds the canonical starting network the experiments
+// use: protocols, ISPs, users, applications, and lawmakers, moderately
+// aligned.
+func SeedInternet(rng *sim.RNG) *Network {
+	n := New(rng)
+	n.AddActor("protocols", Technology)
+	n.AddActor("isps", Institution)
+	n.AddActor("users", Human)
+	n.AddActor("applications", Technology)
+	n.AddActor("lawmakers", Institution)
+	names := n.Actors()
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			n.Align(names[i], names[j], rng.Range(0.2, 0.5))
+		}
+	}
+	return n
+}

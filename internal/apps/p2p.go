@@ -1,0 +1,250 @@
+package apps
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// This file models the file-sharing tussle of §I ("music lovers of a
+// certain bent want to exchange recordings with each other, but the
+// rights holders want to stop them") with two index architectures whose
+// difference decided the real tussle: a central index (Napster) is a
+// single point the rights holder can take down; a distributed index
+// survives per-node takedowns.
+
+// PeerID identifies a sharing peer.
+type PeerID int
+
+// Index locates which peers hold which files.
+type Index interface {
+	// Publish announces that peer holds file.
+	Publish(peer PeerID, file string)
+	// Lookup returns the peers known to hold file.
+	Lookup(file string) []PeerID
+	// TakedownFile removes a file's entries where the architecture
+	// allows; returns how many entries were removed.
+	TakedownFile(file string) int
+	// TakedownNode disables one index node (legal action against an
+	// operator); returns whether any node remained to disable.
+	TakedownNode() bool
+	// Alive reports whether the index still answers queries at all.
+	Alive() bool
+}
+
+// CentralIndex is the Napster design: one operator, one database.
+type CentralIndex struct {
+	entries map[string][]PeerID
+	down    bool
+}
+
+// NewCentralIndex creates the single-operator index.
+func NewCentralIndex() *CentralIndex {
+	return &CentralIndex{entries: make(map[string][]PeerID)}
+}
+
+// Publish implements Index.
+func (c *CentralIndex) Publish(peer PeerID, file string) {
+	if c.down {
+		return
+	}
+	c.entries[file] = append(c.entries[file], peer)
+}
+
+// Lookup implements Index.
+func (c *CentralIndex) Lookup(file string) []PeerID {
+	if c.down {
+		return nil
+	}
+	return append([]PeerID(nil), c.entries[file]...)
+}
+
+// TakedownFile implements Index.
+func (c *CentralIndex) TakedownFile(file string) int {
+	n := len(c.entries[file])
+	delete(c.entries, file)
+	return n
+}
+
+// TakedownNode implements Index: one legal action kills the whole
+// service.
+func (c *CentralIndex) TakedownNode() bool {
+	if c.down {
+		return false
+	}
+	c.down = true
+	return true
+}
+
+// Alive implements Index.
+func (c *CentralIndex) Alive() bool { return !c.down }
+
+// DistributedIndex spreads entries over many independently-operated
+// nodes with replication; a takedown disables one node at a time.
+type DistributedIndex struct {
+	nodes []map[string][]PeerID
+	live  []bool
+	// Replication is how many nodes hold each entry.
+	Replication int
+	rng         *sim.RNG
+}
+
+// NewDistributedIndex creates n index nodes with k-way replication.
+func NewDistributedIndex(n, k int, rng *sim.RNG) *DistributedIndex {
+	d := &DistributedIndex{Replication: k, rng: rng}
+	for i := 0; i < n; i++ {
+		d.nodes = append(d.nodes, make(map[string][]PeerID))
+		d.live = append(d.live, true)
+	}
+	return d
+}
+
+// hash maps a file to its home node deterministically.
+func (d *DistributedIndex) hash(file string) int {
+	h := 2166136261
+	for i := 0; i < len(file); i++ {
+		h = (h ^ int(file[i])) * 16777619
+		h &= 0x7fffffff
+	}
+	return h % len(d.nodes)
+}
+
+// Publish implements Index.
+func (d *DistributedIndex) Publish(peer PeerID, file string) {
+	home := d.hash(file)
+	for r := 0; r < d.Replication; r++ {
+		idx := (home + r) % len(d.nodes)
+		if d.live[idx] {
+			d.nodes[idx][file] = append(d.nodes[idx][file], peer)
+		}
+	}
+}
+
+// Lookup implements Index.
+func (d *DistributedIndex) Lookup(file string) []PeerID {
+	home := d.hash(file)
+	for r := 0; r < d.Replication; r++ {
+		idx := (home + r) % len(d.nodes)
+		if d.live[idx] {
+			if peers, ok := d.nodes[idx][file]; ok {
+				return append([]PeerID(nil), peers...)
+			}
+		}
+	}
+	return nil
+}
+
+// TakedownFile implements Index: the rights holder must find and purge
+// every live replica.
+func (d *DistributedIndex) TakedownFile(file string) int {
+	home := d.hash(file)
+	n := 0
+	for r := 0; r < d.Replication; r++ {
+		idx := (home + r) % len(d.nodes)
+		if d.live[idx] {
+			n += len(d.nodes[idx][file])
+			delete(d.nodes[idx], file)
+		}
+	}
+	return n
+}
+
+// TakedownNode implements Index: disables one random live node.
+func (d *DistributedIndex) TakedownNode() bool {
+	var liveIdx []int
+	for i, l := range d.live {
+		if l {
+			liveIdx = append(liveIdx, i)
+		}
+	}
+	if len(liveIdx) == 0 {
+		return false
+	}
+	d.live[liveIdx[d.rng.Intn(len(liveIdx))]] = false
+	return true
+}
+
+// Alive implements Index.
+func (d *DistributedIndex) Alive() bool {
+	for _, l := range d.live {
+		if l {
+			return true
+		}
+	}
+	return false
+}
+
+// Swarm is a population of peers sharing a catalog through an index.
+type Swarm struct {
+	Index Index
+	Peers []PeerID
+	// Catalog is the set of shared files.
+	Catalog []string
+	// UploadCredit tracks the mutual-aid accounting: peers earn credit
+	// by serving (§IV-C: Napster as a nonmonetary value flow).
+	UploadCredit map[PeerID]float64
+}
+
+// NewSwarm seeds peers and publishes each file from a few seeders.
+func NewSwarm(index Index, nPeers int, catalog []string, seedersPerFile int, rng *sim.RNG) *Swarm {
+	s := &Swarm{Index: index, Catalog: catalog, UploadCredit: make(map[PeerID]float64)}
+	for i := 0; i < nPeers; i++ {
+		s.Peers = append(s.Peers, PeerID(i))
+	}
+	for _, f := range catalog {
+		perm := rng.Perm(nPeers)
+		for k := 0; k < seedersPerFile && k < nPeers; k++ {
+			index.Publish(PeerID(perm[k]), f)
+		}
+	}
+	return s
+}
+
+// Fetch attempts to download a file: a lookup plus a transfer from the
+// first listed peer, who earns upload credit.
+func (s *Swarm) Fetch(file string) bool {
+	peers := s.Index.Lookup(file)
+	if len(peers) == 0 {
+		return false
+	}
+	s.UploadCredit[peers[0]] += 1
+	return true
+}
+
+// Availability reports the fraction of the catalog still fetchable.
+func (s *Swarm) Availability() float64 {
+	if len(s.Catalog) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, f := range s.Catalog {
+		if len(s.Index.Lookup(f)) > 0 {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(s.Catalog))
+}
+
+// TopUploaders returns peers by descending credit — the mutual-aid
+// leaderboard.
+func (s *Swarm) TopUploaders(k int) []PeerID {
+	type pc struct {
+		p PeerID
+		c float64
+	}
+	var all []pc
+	for p, c := range s.UploadCredit {
+		all = append(all, pc{p, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].p < all[j].p
+	})
+	var out []PeerID
+	for i := 0; i < k && i < len(all); i++ {
+		out = append(out, all[i].p)
+	}
+	return out
+}

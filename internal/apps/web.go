@@ -1,0 +1,126 @@
+package apps
+
+import (
+	"repro/internal/sim"
+)
+
+// WebOrigin serves content with a fixed round-trip latency.
+type WebOrigin struct {
+	Name    string
+	Latency sim.Time
+	content map[string]int // name -> size
+	// Requests counts origin hits.
+	Requests int
+}
+
+// NewWebOrigin creates an origin server.
+func NewWebOrigin(name string, latency sim.Time) *WebOrigin {
+	return &WebOrigin{Name: name, Latency: latency, content: map[string]int{}}
+}
+
+// Put publishes content.
+func (o *WebOrigin) Put(name string, size int) { o.content[name] = size }
+
+// Get fetches content, returning its size and the latency paid.
+func (o *WebOrigin) Get(name string) (int, sim.Time, bool) {
+	size, ok := o.content[name]
+	if !ok {
+		return 0, o.Latency, false
+	}
+	o.Requests++
+	return size, o.Latency, true
+}
+
+// WebCache is the §VI-A mature-application enhancement: an in-network
+// cache that cuts latency for popular content — and one more point of
+// failure and control. LRU with a fixed entry capacity.
+type WebCache struct {
+	Name     string
+	Capacity int
+	Latency  sim.Time // cache hit latency
+	Origin   *WebOrigin
+
+	entries map[string]int
+	order   []string // LRU order, most recent last
+	// Hits and Misses count outcomes; Broken simulates a failed cache
+	// (the added failure point).
+	Hits, Misses int
+	Broken       bool
+}
+
+// NewWebCache creates a cache in front of an origin.
+func NewWebCache(name string, capacity int, latency sim.Time, origin *WebOrigin) *WebCache {
+	return &WebCache{Name: name, Capacity: capacity, Latency: latency, Origin: origin, entries: map[string]int{}}
+}
+
+// Get fetches through the cache. A broken cache fails the request
+// outright — the reliability cost of in-network function (§VI-A: "bits
+// of applications 'in the network' increase the number of points of
+// failure").
+func (c *WebCache) Get(name string) (int, sim.Time, bool) {
+	if c.Broken {
+		return 0, 0, false
+	}
+	if size, ok := c.entries[name]; ok {
+		c.Hits++
+		c.touch(name)
+		return size, c.Latency, true
+	}
+	c.Misses++
+	size, lat, ok := c.Origin.Get(name)
+	if !ok {
+		return 0, lat, false
+	}
+	c.insert(name, size)
+	return size, c.Latency + lat, true
+}
+
+func (c *WebCache) touch(name string) {
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), name)
+			return
+		}
+	}
+}
+
+func (c *WebCache) insert(name string, size int) {
+	if c.Capacity <= 0 {
+		return
+	}
+	if len(c.entries) >= c.Capacity {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[name] = size
+	c.order = append(c.order, name)
+}
+
+// HitRate reports the cache's hit fraction.
+func (c *WebCache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// VoIPScore maps one-way delay to a 1–5 quality score, a compressed
+// E-model: excellent below 150 ms, degrading linearly, unusable past
+// 400 ms. This is the demand curve behind §VII's Internet Telephony
+// example — VoIP is the application whose value depends on QoS.
+func VoIPScore(delay sim.Time) float64 {
+	ms := delay.Millis()
+	switch {
+	case ms <= 150:
+		return 4.4
+	case ms >= 400:
+		return 1.0
+	default:
+		return 4.4 - (ms-150)*(3.4/250)
+	}
+}
+
+// VoIPAcceptable reports whether users tolerate the call quality.
+func VoIPAcceptable(delay sim.Time) bool { return VoIPScore(delay) >= 3.0 }

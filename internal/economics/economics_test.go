@@ -1,0 +1,366 @@
+package economics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// mkConsumers builds n homogeneous consumers.
+func mkConsumers(n int, wtp, switchCost float64) []*Consumer {
+	out := make([]*Consumer, n)
+	for i := range out {
+		out[i] = &Consumer{ID: i, WTP: wtp, SwitchCost: switchCost}
+	}
+	return out
+}
+
+func TestMonopolyRaisesPricesCompetitionDisciplines(t *testing.T) {
+	run := func(nProviders int) float64 {
+		rng := sim.NewRNG(1)
+		var providers []*Provider
+		for i := 0; i < nProviders; i++ {
+			providers = append(providers, &Provider{
+				Name: "isp", Cost: 2,
+				Offer: Offer{Price: 5, AllowsServers: true, AllowsEncryption: true},
+				Strat: func() Strategy {
+					if nProviders == 1 {
+						return &GreedPricing{}
+					}
+					return CompetitivePricing{Step: 0.25, Floor: 0.25}
+				}(),
+			})
+		}
+		m := NewMarket(rng, providers, mkConsumers(100, 20, 0.5))
+		m.Run(100)
+		return m.MeanPrice()
+	}
+	mono := run(1)
+	comp := run(4)
+	if mono <= comp {
+		t.Fatalf("monopoly price %v should exceed competitive price %v", mono, comp)
+	}
+	if comp > 5 {
+		t.Fatalf("competition failed to discipline price: %v", comp)
+	}
+}
+
+func TestSwitchingCostProtectsIncumbent(t *testing.T) {
+	// Two providers: the incumbent is expensive, the entrant cheap.
+	// With high switching costs (hard renumbering), consumers stay.
+	run := func(switchCost float64) int {
+		rng := sim.NewRNG(2)
+		incumbent := &Provider{Name: "incumbent", Cost: 2, Offer: Offer{Price: 10, AllowsServers: true, AllowsEncryption: true}, Strat: StaticPricing{}}
+		entrant := &Provider{Name: "entrant", Cost: 2, Offer: Offer{Price: 6, AllowsServers: true, AllowsEncryption: true}, Strat: StaticPricing{}}
+		consumers := mkConsumers(100, 20, switchCost)
+		m := NewMarket(rng, []*Provider{incumbent, entrant}, consumers)
+		// Round 1: everyone picks the entrant (cheaper) — so seed them
+		// on the incumbent first by making it briefly cheapest.
+		incumbent.Offer.Price = 5
+		m.Step()
+		incumbent.Offer.Price = 10
+		m.Run(10)
+		return m.Switches
+	}
+	lockedIn := run(8)   // renumbering is painful
+	freeToMove := run(1) // DHCP + dynamic DNS
+	if lockedIn >= freeToMove {
+		t.Fatalf("switches: locked-in %d should be < free %d", lockedIn, freeToMove)
+	}
+	if freeToMove < 90 {
+		t.Fatalf("cheap switching should free nearly all consumers, got %d", freeToMove)
+	}
+}
+
+func TestValuePricingTunnelEvasion(t *testing.T) {
+	// A provider bans servers (value pricing). Consumers who can tunnel
+	// evade; those who cannot pay the surcharge.
+	rng := sim.NewRNG(3)
+	isp := &Provider{Name: "isp", Cost: 1, Offer: Offer{Price: 5, AllowsServers: false, ServerSurcharge: 3, AllowsEncryption: true}, Strat: StaticPricing{}}
+	consumers := mkConsumers(50, 20, 1)
+	for i, c := range consumers {
+		c.RunsServer = true
+		c.CanTunnel = i < 25 // half are savvy
+	}
+	m := NewMarket(rng, []*Provider{isp}, consumers)
+	m.Run(4)
+	if m.Tunnels == 0 {
+		t.Fatal("no tunneling despite a server ban")
+	}
+	// Tunnelers don't pay the surcharge — provider revenue is lower
+	// than if no one could tunnel.
+	rng2 := sim.NewRNG(3)
+	isp2 := &Provider{Name: "isp", Cost: 1, Offer: isp.Offer, Strat: StaticPricing{}}
+	consumers2 := mkConsumers(50, 20, 1)
+	for _, c := range consumers2 {
+		c.RunsServer = true
+	}
+	m2 := NewMarket(rng2, []*Provider{isp2}, consumers2)
+	m2.Run(4)
+	if isp.Revenue >= isp2.Revenue {
+		t.Fatalf("tunneling should cut revenue: %v vs %v", isp.Revenue, isp2.Revenue)
+	}
+}
+
+func TestUnservedWhenPriceExceedsWTP(t *testing.T) {
+	rng := sim.NewRNG(4)
+	isp := &Provider{Name: "isp", Cost: 1, Offer: Offer{Price: 50}, Strat: StaticPricing{}}
+	m := NewMarket(rng, []*Provider{isp}, mkConsumers(10, 20, 1))
+	m.Run(3)
+	if m.Unserved != 30 {
+		t.Fatalf("unserved = %d, want 30", m.Unserved)
+	}
+	if isp.Subscribers != 0 {
+		t.Fatal("overpriced provider kept subscribers")
+	}
+}
+
+func TestProviderExitAfterLosses(t *testing.T) {
+	rng := sim.NewRNG(5)
+	loser := &Provider{Name: "loser", Cost: 1, FixedCost: 10, Offer: Offer{Price: 100}, Strat: StaticPricing{}}
+	m := NewMarket(rng, []*Provider{loser}, mkConsumers(5, 10, 1))
+	m.Run(20)
+	if loser.Alive {
+		t.Fatal("unprofitable empty provider should exit")
+	}
+	if m.AliveProviders() != 0 {
+		t.Fatal("AliveProviders wrong")
+	}
+}
+
+func TestHHI(t *testing.T) {
+	rng := sim.NewRNG(6)
+	a := &Provider{Name: "a", Cost: 1, Offer: Offer{Price: 5}, Strat: StaticPricing{}}
+	b := &Provider{Name: "b", Cost: 1, Offer: Offer{Price: 5}, Strat: StaticPricing{}}
+	m := NewMarket(rng, []*Provider{a, b}, mkConsumers(10, 20, 1))
+	m.Run(2)
+	h := m.HHI()
+	if h < 0.49 || h > 1.01 {
+		t.Fatalf("HHI = %v", h)
+	}
+	// Monopoly HHI = 1.
+	m2 := NewMarket(sim.NewRNG(6), []*Provider{{Name: "solo", Cost: 1, Offer: Offer{Price: 5}, Strat: StaticPricing{}, Alive: true}}, mkConsumers(10, 20, 1))
+	m2.Run(2)
+	if m2.HHI() != 1 {
+		t.Fatalf("monopoly HHI = %v", m2.HHI())
+	}
+}
+
+func TestQoSRevenue(t *testing.T) {
+	rng := sim.NewRNG(7)
+	with := &Provider{Name: "qos", Cost: 1, Offer: Offer{Price: 5, QoS: true, QoSPrice: 2}, Strat: StaticPricing{}}
+	consumers := mkConsumers(20, 20, 1)
+	for _, c := range consumers {
+		c.WantsQoS = true
+	}
+	m := NewMarket(rng, []*Provider{with}, consumers)
+	m.Run(1)
+	// Revenue = 20*(5 + 2).
+	if math.Abs(with.Revenue-140) > 1e-9 {
+		t.Fatalf("revenue = %v, want 140", with.Revenue)
+	}
+}
+
+func TestConsumerSurplusNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		providers := []*Provider{
+			{Name: "a", Cost: 1, Offer: Offer{Price: rng.Range(1, 30)}, Strat: StaticPricing{}},
+			{Name: "b", Cost: 1, Offer: Offer{Price: rng.Range(1, 30)}, Strat: CompetitivePricing{}},
+		}
+		consumers := mkConsumers(30, rng.Range(5, 25), rng.Range(0, 5))
+		m := NewMarket(rng, providers, consumers)
+		m.Run(20)
+		return m.ConsumerSurplus() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompetitivePricingStaysAboveCost(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		providers := []*Provider{
+			{Name: "a", Cost: 2, Offer: Offer{Price: rng.Range(3, 20)}, Strat: CompetitivePricing{Step: 0.25, Floor: 0.1}},
+			{Name: "b", Cost: 2, Offer: Offer{Price: rng.Range(3, 20)}, Strat: CompetitivePricing{Step: 0.25, Floor: 0.1}},
+		}
+		m := NewMarket(rng, providers, mkConsumers(40, 25, 0.5))
+		m.Run(50)
+		for _, p := range providers {
+			if p.Offer.Price < p.Cost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLedgerTransfersAndConservation(t *testing.T) {
+	l := NewLedger(map[string]float64{"alice": 100, "isp": 0})
+	if err := l.Transfer("alice", "isp", 30, "monthly service"); err != nil {
+		t.Fatal(err)
+	}
+	if l.Balance("alice") != 70 || l.Balance("isp") != 30 {
+		t.Fatalf("balances = %v/%v", l.Balance("alice"), l.Balance("isp"))
+	}
+	if !l.Conserved() {
+		t.Fatal("conservation broken")
+	}
+	if len(l.Entries) != 1 || l.Entries[0].Memo != "monthly service" {
+		t.Fatalf("audit trail = %+v", l.Entries)
+	}
+}
+
+func TestLedgerRejectsOverdraftAndNegative(t *testing.T) {
+	l := NewLedger(map[string]float64{"a": 10})
+	if err := l.Transfer("a", "b", 20, ""); err == nil {
+		t.Fatal("overdraft allowed")
+	}
+	if err := l.Transfer("a", "b", -5, ""); err == nil {
+		t.Fatal("negative transfer allowed")
+	}
+	if !l.Conserved() {
+		t.Fatal("failed transfers changed balances")
+	}
+}
+
+func TestLedgerConservationQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		l := NewLedger(map[string]float64{"a": 100, "b": 100, "c": 100})
+		names := []string{"a", "b", "c"}
+		for i := 0; i < 50; i++ {
+			from := names[rng.Intn(3)]
+			to := names[rng.Intn(3)]
+			_ = l.Transfer(from, to, rng.Range(0, 50), "x")
+		}
+		return l.Conserved()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMicropaymentBreakeven(t *testing.T) {
+	card := FeeSchedule{Name: "credit-card", Fixed: 0.30, Rate: 0.03}
+	breakeven := card.MicropaymentViability()
+	if breakeven < 0.30 || breakeven > 0.32 {
+		t.Fatalf("breakeven = %v", breakeven)
+	}
+	// A 1-cent payment delivers nothing net of fees.
+	if net := card.NetDelivered(100, 0.01); net != 0 {
+		t.Fatalf("micropayments net = %v, want 0", net)
+	}
+	// A $100 payment is fine.
+	if net := card.NetDelivered(1, 100); net <= 95 {
+		t.Fatalf("large payment net = %v", net)
+	}
+	// An aggregator bundling 1000 micropayments into one charge wins.
+	aggregated := card.NetDelivered(1, 10) // 1000 * $0.01 bundled
+	direct := card.NetDelivered(1000, 0.01)
+	if aggregated <= direct {
+		t.Fatal("aggregation should beat per-transaction micropayments")
+	}
+}
+
+func TestGreedPricingRatchetsWithoutCompetition(t *testing.T) {
+	rng := sim.NewRNG(8)
+	mono := &Provider{Name: "mono", Cost: 1, Offer: Offer{Price: 3}, Strat: &GreedPricing{Step: 0.5}}
+	m := NewMarket(rng, []*Provider{mono}, mkConsumers(10, 50, 1))
+	m.Run(30)
+	if mono.Offer.Price <= 10 {
+		t.Fatalf("monopolist price = %v, should ratchet upward", mono.Offer.Price)
+	}
+}
+
+func TestAdaptivePricingBothModes(t *testing.T) {
+	// Locked-in consumers: adaptive pricing ratchets upward.
+	rng := sim.NewRNG(9)
+	locked := &Provider{Name: "a", Cost: 2, Offer: Offer{Price: 5}, Strat: &AdaptivePricing{Step: 0.25}}
+	rival := &Provider{Name: "b", Cost: 2, Offer: Offer{Price: 5}, Strat: StaticPricing{}}
+	consumers := mkConsumers(50, 30, 100) // effectively immobile
+	m := NewMarket(rng, []*Provider{locked, rival}, consumers)
+	for _, c := range consumers {
+		c.Provider = 0
+	}
+	m.Run(40)
+	if locked.Offer.Price <= 10 {
+		t.Fatalf("locked-in adaptive price = %v, should ratchet", locked.Offer.Price)
+	}
+	// Mobile consumers with heterogeneous switching costs: subscribers
+	// bleed away gradually as the price probes upward, and the fear
+	// response chases the rival down.
+	rng2 := sim.NewRNG(9)
+	fearful := &Provider{Name: "a", Cost: 2, Offer: Offer{Price: 6}, Strat: &AdaptivePricing{Step: 0.25}}
+	cheap := &Provider{Name: "b", Cost: 2, Offer: Offer{Price: 5}, Strat: StaticPricing{}}
+	consumers2 := mkConsumers(50, 30, 0.5)
+	for i, c := range consumers2 {
+		c.Provider = 0
+		c.SwitchCost = 1 + float64(i)*0.25
+	}
+	m2 := NewMarket(rng2, []*Provider{fearful, cheap}, consumers2)
+	for _, c := range consumers2 {
+		c.Provider = 0
+	}
+	m2.Run(60)
+	if fearful.Offer.Price >= 6 {
+		t.Fatalf("mobile-market adaptive price = %v, should chase the rival down", fearful.Offer.Price)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if (StaticPricing{}).Name() != "static" {
+		t.Fatal("static name")
+	}
+	if (CompetitivePricing{}).Name() != "competitive" {
+		t.Fatal("competitive name")
+	}
+	if (&GreedPricing{}).Name() != "greed" {
+		t.Fatal("greed name")
+	}
+	if (&AdaptivePricing{}).Name() != "adaptive" {
+		t.Fatal("adaptive name")
+	}
+}
+
+func TestProducerProfitAggregates(t *testing.T) {
+	rng := sim.NewRNG(10)
+	a := &Provider{Name: "a", Cost: 1, Offer: Offer{Price: 5}, Strat: StaticPricing{}}
+	m := NewMarket(rng, []*Provider{a}, mkConsumers(10, 20, 1))
+	m.Run(2)
+	if m.ProducerProfit() != a.Profit {
+		t.Fatalf("ProducerProfit = %v, provider profit %v", m.ProducerProfit(), a.Profit)
+	}
+	if m.ProducerProfit() <= 0 {
+		t.Fatal("profitable provider shows no profit")
+	}
+}
+
+func TestMicropaymentDegenerateFee(t *testing.T) {
+	confiscatory := FeeSchedule{Name: "bad", Fixed: 1, Rate: 1.0}
+	if v := confiscatory.MicropaymentViability(); v < 1e300 {
+		t.Fatalf("rate>=1 viability = %v, want effectively infinite", v)
+	}
+}
+
+func TestConsumerValueEncryptionWithoutTunnel(t *testing.T) {
+	// A consumer who wants encryption, on a blocking provider, without
+	// tunneling skill: no premium, no distortion.
+	c := &Consumer{WTP: 10, WantsEncryption: true}
+	v, tun := c.valueOf(Offer{Price: 4, AllowsEncryption: false})
+	if v != 6 || tun {
+		t.Fatalf("value = %v tunneling = %v", v, tun)
+	}
+	// QoS priced above its premium adds nothing.
+	c2 := &Consumer{WTP: 10, WantsQoS: true}
+	v2, _ := c2.valueOf(Offer{Price: 4, QoS: true, QoSPrice: QoSPremium + 1})
+	if v2 != 6 {
+		t.Fatalf("overpriced QoS value = %v", v2)
+	}
+}

@@ -1,0 +1,112 @@
+package economics
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ledger is the settlement substrate for value flow: "Whatever the
+// compensation, recognize that it must flow, just as much as data must
+// flow" (§IV-C). It tracks balances and enforces conservation — value is
+// transferred, never created.
+type Ledger struct {
+	balances map[string]float64
+	// Entries is the audit trail.
+	Entries []LedgerEntry
+	// initial is the sum of all opening balances, for the conservation
+	// invariant.
+	initial float64
+}
+
+// LedgerEntry is one transfer.
+type LedgerEntry struct {
+	From, To string
+	Amount   float64
+	Memo     string
+}
+
+// ErrInsufficient is returned on overdraft attempts.
+var ErrInsufficient = errors.New("economics: insufficient balance")
+
+// NewLedger opens accounts with the given balances.
+func NewLedger(opening map[string]float64) *Ledger {
+	l := &Ledger{balances: make(map[string]float64, len(opening))}
+	for k, v := range opening {
+		l.balances[k] = v
+		l.initial += v
+	}
+	return l
+}
+
+// Balance returns an account balance (0 for unknown accounts).
+func (l *Ledger) Balance(acct string) float64 { return l.balances[acct] }
+
+// Transfer moves amount from one account to another. Negative amounts
+// are rejected; overdrafts are rejected.
+func (l *Ledger) Transfer(from, to string, amount float64, memo string) error {
+	if amount < 0 {
+		return fmt.Errorf("economics: negative transfer %v", amount)
+	}
+	if l.balances[from] < amount {
+		return fmt.Errorf("%w: %s has %v, needs %v", ErrInsufficient, from, l.balances[from], amount)
+	}
+	l.balances[from] -= amount
+	l.balances[to] += amount
+	l.Entries = append(l.Entries, LedgerEntry{From: from, To: to, Amount: amount, Memo: memo})
+	return nil
+}
+
+// Conserved verifies the conservation invariant: total value equals the
+// opening total.
+func (l *Ledger) Conserved() bool {
+	total := 0.0
+	for _, v := range l.balances {
+		total += v
+	}
+	return abs(total-l.initial) < 1e-6
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// FeeSchedule models a payment intermediary's pricing: a fixed fee plus
+// a proportional rate per transaction.
+type FeeSchedule struct {
+	Name  string
+	Fixed float64
+	Rate  float64
+}
+
+// Fee returns the cost of one transaction of the given size.
+func (f FeeSchedule) Fee(amount float64) float64 {
+	return f.Fixed + f.Rate*amount
+}
+
+// NetDelivered returns what the payee receives from n payments of the
+// given size, after fees.
+func (f FeeSchedule) NetDelivered(n int, amount float64) float64 {
+	gross := float64(n) * amount
+	fees := float64(n) * f.Fee(amount)
+	net := gross - fees
+	if net < 0 {
+		return 0
+	}
+	return net
+}
+
+// MicropaymentViability reproduces the §IV-C aside on "the rise and fall
+// of micro-payments": under a fixed-fee schedule, payments below the
+// breakeven size deliver nothing. It returns the smallest payment size
+// with positive net delivery.
+func (f FeeSchedule) MicropaymentViability() float64 {
+	if f.Rate >= 1 {
+		return inf()
+	}
+	return f.Fixed / (1 - f.Rate)
+}
+
+func inf() float64 { return 1e308 }

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/naming"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// E1NamingIsolation tests the §IV-A DNS claim: when trademark expression
+// shares a namespace with machine naming, trademark disputes break
+// machine names (collateral damage); separating the namespaces confines
+// the damage.
+//
+// Workload: a population of registrants register machine names, mailbox
+// names, and brand names, many derived from a set of contested marks;
+// trademark holders then file disputes over every mark. We sweep the
+// fraction of names that collide with marks and compare the entangled
+// and isolated registry designs on collateral suspensions and surviving
+// machine-name resolution.
+func E1NamingIsolation(seed uint64) *Result {
+	res := &Result{
+		ID:    "E1",
+		Title: "tussle isolation in naming (DNS trademark entanglement)",
+		Claim: "§IV-A: names that express trademarks should be used for as little else as possible; isolation confines dispute damage",
+		Columns: []string{
+			"disputes", "suspended", "collateral", "machine-avail",
+		},
+	}
+	marks := []string{"acme", "globex", "initech", "umbrella", "tyrell"}
+	for _, isolated := range []bool{false, true} {
+		for _, markUseFrac := range []float64{0.2, 0.5} {
+			rng := sim.NewRNG(seed)
+			reg := naming.NewRegistry(isolated)
+			brandUse := map[string]string{}
+
+			const nMachines = 200
+			machineNames := make([]string, 0, nMachines)
+			for i := 0; i < nMachines; i++ {
+				var name string
+				if rng.Bool(markUseFrac) {
+					// A machine name derived from a mark (a mail server
+					// named after the company, say).
+					name = fmt.Sprintf("%s.host-%d", marks[rng.Intn(len(marks))], i)
+				} else {
+					name = fmt.Sprintf("node-%d", i)
+				}
+				if _, err := reg.Register(naming.SpaceMachine, name, fmt.Sprintf("owner-%d", i), packet.MakeAddr(uint16(i%100+1), uint16(i))); err == nil {
+					machineNames = append(machineNames, name)
+				}
+			}
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("mail-%d", i)
+				if rng.Bool(markUseFrac) {
+					name = fmt.Sprintf("%s.mail-%d", marks[rng.Intn(len(marks))], i)
+				}
+				reg.Register(naming.SpaceMailbox, name, fmt.Sprintf("owner-%d", i), packet.MakeAddr(1, uint16(i)))
+			}
+			// Brand squatters register the marks themselves.
+			for _, m := range marks {
+				if _, err := reg.Register(naming.SpaceBrand, m, "squatter", packet.MakeAddr(9, 9)); err == nil {
+					brandUse[m] = "brand"
+				}
+			}
+
+			suspended, collateral := 0, 0
+			for _, m := range marks {
+				ruling := reg.FileDispute(naming.Dispute{Mark: m, Holder: m + "-corp"}, brandUse)
+				suspended += len(ruling.Suspended)
+				collateral += ruling.Collateral
+			}
+			alive := 0
+			for _, name := range machineNames {
+				if _, err := reg.Resolve(naming.SpaceMachine, name); err == nil {
+					alive++
+				}
+			}
+			design := "entangled"
+			if isolated {
+				design = "isolated"
+			}
+			res.AddRow(fmt.Sprintf("%s markUse=%.0f%%", design, markUseFrac*100),
+				float64(len(marks)), float64(suspended), float64(collateral),
+				float64(alive)/float64(len(machineNames)))
+		}
+	}
+	entangledCollateral := res.MustGet("entangled markUse=50%", "collateral")
+	isolatedCollateral := res.MustGet("isolated markUse=50%", "collateral")
+	res.Finding = fmt.Sprintf(
+		"entangled design suffers %.0f collateral suspensions at 50%% mark use vs %.0f isolated; machine availability %.3f vs %.3f",
+		entangledCollateral, isolatedCollateral,
+		res.MustGet("entangled markUse=50%", "machine-avail"),
+		res.MustGet("isolated markUse=50%", "machine-avail"))
+	return res
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/gametheory"
+	"repro/internal/sim"
+	"repro/internal/stego"
+)
+
+// E20Steganography tests §VI-A footnote 17: after encryption blocking,
+// "the next step in this sort of escalation is steganography." The
+// experiment measures the covert channels an evader actually has — and
+// the structural facts that shape the tussle: detectability depends on
+// the cover distribution, timing channels trade capacity against
+// jitter, and inspector-vs-evader is a pure-conflict game with no
+// stable pure outcome.
+func E20Steganography(seed uint64) *Result {
+	res := &Result{
+		ID:    "E20",
+		Title: "steganographic escalation: covert channels vs inspection",
+		Claim: "§VI-A fn.17: steganography is the escalation after encryption blocking; detection is a pure-conflict tussle",
+		Columns: []string{
+			"bits-per-pkt", "suspicion", "ber",
+		},
+	}
+	rng := sim.NewRNG(seed)
+	const nPkts = 400
+
+	whitened := func(n int) []byte {
+		m := make([]byte, n)
+		for i := range m {
+			m[i] = byte(rng.Uint64())
+		}
+		return m
+	}
+
+	// Padding channel over the two cover distributions.
+	{
+		cover := stego.MakeCover(stego.ZeroPadding, nPkts, 8, rng)
+		stego.EmbedPadding(cover, whitened(nPkts))
+		s := stego.PaddingDetector{Expected: stego.ZeroPadding}.Suspicion(cover)
+		res.AddRow("padding zero-cover", 8, s, 0)
+	}
+	{
+		cover := stego.MakeCover(stego.RandomPadding, nPkts, 8, rng)
+		stego.EmbedPadding(cover, whitened(nPkts))
+		s := stego.PaddingDetector{Expected: stego.RandomPadding}.Suspicion(cover)
+		res.AddRow("padding random-cover", 8, s, 0)
+	}
+
+	// Timing channel at two jitter levels.
+	c := stego.TimingChannel{Base: 10 * sim.Millisecond, Delta: 3 * sim.Millisecond}
+	bits := make([]int, nPkts)
+	for i := range bits {
+		bits[i] = int(rng.Uint64() & 1)
+	}
+	for _, jit := range []sim.Time{200 * sim.Microsecond, 4 * sim.Millisecond} {
+		gaps := c.EmbedTiming(bits, jit, rng)
+		ber := stego.BitErrorRate(bits, c.ExtractTiming(gaps))
+		s := stego.TimingDetector{}.Suspicion(gaps)
+		res.AddRow(fmt.Sprintf("timing jitter=%v", jit), 1, s, ber)
+	}
+
+	// The inspector/evader inspection game: zero-sum, cycling. Gain is
+	// the padding channel's capacity; penalty and inspection cost are
+	// the scenario's legal/operational stakes.
+	a := stego.InspectionGame(8, 5, 1)
+	g := gametheory.ZeroSum("stego-inspection", a)
+	pure := len(g.PureNash())
+	m := g.FictitiousPlay(20000)
+	res.AddRow("detection-game", m.Value, float64(pure), g.Exploitability(m))
+
+	res.Finding = fmt.Sprintf(
+		"whitened embedding is glaring in zero padding (suspicion %.2f) and invisible in random padding (%.2f) — encryption normalizes the cover; the timing channel trades 1 bit/pkt against jitter (BER %.2f→%.2f); the detection game has %d pure equilibria (a cycling conflict) with mixed value %.2f",
+		res.MustGet("padding zero-cover", "suspicion"),
+		res.MustGet("padding random-cover", "suspicion"),
+		res.MustGet("timing jitter=200.000us", "ber"),
+		res.MustGet("timing jitter=4.000ms", "ber"),
+		pure, m.Value)
+	return res
+}

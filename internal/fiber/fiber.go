@@ -1,0 +1,300 @@
+// Package fiber implements the research project §V-A3 of the paper
+// explicitly calls for: "design and demonstrate a fiber-based
+// residential access facility that supports competition in higher-level
+// services. Technical questions include whether sharing should be in
+// the time domain (packets) or color domain, how the fairness of
+// sharing can be enforced and verified, an approach to fault isolation
+// and other operational issues, and how incremental upgrades can be
+// done."
+//
+// The facility multiplexes several retail ISPs over one municipal
+// fiber. Two sharing designs are modeled:
+//
+//   - TDM: packets from all ISPs share the fiber under weighted fair
+//     queueing; fairness is enforced by the scheduler and verified by
+//     per-ISP accounting; capacity upgrades are fractional; a scheduler
+//     fault affects everyone.
+//   - WDM: each ISP gets its own wavelength; fairness is physical (no
+//     enforcement needed); upgrades come in whole-lambda quanta; a
+//     lambda fault affects exactly one ISP.
+package fiber
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/qos"
+	"repro/internal/sim"
+)
+
+// Domain selects the sharing design.
+type Domain uint8
+
+// Sharing domains.
+const (
+	// TDM shares in the time domain: packet scheduling.
+	TDM Domain = iota
+	// WDM shares in the color domain: one wavelength per ISP.
+	WDM
+)
+
+func (d Domain) String() string {
+	if d == TDM {
+		return "tdm"
+	}
+	return "wdm"
+}
+
+// Tenant is one retail ISP on the facility.
+type Tenant struct {
+	Name string
+	// Entitlement is the contracted share of facility capacity
+	// (fractions summing to <= 1 across tenants).
+	Entitlement float64
+	// Demand is offered load in bytes/second.
+	Demand float64
+	// Cheats marks a tenant that offers far beyond its entitlement,
+	// hoping to grab unenforced capacity.
+	Cheats bool
+
+	// Delivered is measured throughput (bytes/second), set by Measure.
+	Delivered float64
+	// Failed marks a tenant knocked out by a fault.
+	Failed bool
+}
+
+// Facility is the shared access plant.
+type Facility struct {
+	// Capacity is total fiber capacity in bytes/second (per lambda
+	// times lambda count for WDM).
+	Capacity float64
+	Domain   Domain
+	Tenants  []*Tenant
+
+	// LambdaCapacity is the per-wavelength capacity for WDM; the
+	// number of lambdas is Capacity/LambdaCapacity.
+	LambdaCapacity float64
+
+	// SchedulerFailed models a fault in the shared TDM scheduler.
+	SchedulerFailed bool
+	// failedLambda records a WDM wavelength fault (tenant index, -1
+	// none).
+	failedLambda int
+}
+
+// New builds a facility.
+func New(capacity float64, domain Domain, lambdaCapacity float64, tenants ...*Tenant) *Facility {
+	return &Facility{
+		Capacity: capacity, Domain: domain,
+		LambdaCapacity: lambdaCapacity,
+		Tenants:        tenants,
+		failedLambda:   -1,
+	}
+}
+
+// FailLambda knocks out tenant i's wavelength (WDM) — a fault with a
+// one-tenant blast radius.
+func (f *Facility) FailLambda(i int) { f.failedLambda = i }
+
+// FailScheduler knocks out the shared TDM scheduler — a fault with a
+// facility-wide blast radius.
+func (f *Facility) FailScheduler() { f.SchedulerFailed = true }
+
+// Measure computes each tenant's delivered throughput under the current
+// design, demands, and faults. It returns the total delivered.
+func (f *Facility) Measure() float64 {
+	switch f.Domain {
+	case WDM:
+		return f.measureWDM()
+	default:
+		return f.measureTDM()
+	}
+}
+
+func (f *Facility) measureWDM() float64 {
+	total := 0.0
+	for i, t := range f.Tenants {
+		t.Failed = i == f.failedLambda
+		if t.Failed {
+			t.Delivered = 0
+			continue
+		}
+		// Physical isolation: a tenant gets min(demand, its lambda).
+		// Entitlement maps to whole lambdas.
+		lambdas := t.Entitlement * f.Capacity / f.LambdaCapacity
+		capacity := float64(int(lambdas+0.5)) * f.LambdaCapacity
+		got := t.Demand
+		if got > capacity {
+			got = capacity
+		}
+		t.Delivered = got
+		total += got
+	}
+	return total
+}
+
+func (f *Facility) measureTDM() float64 {
+	if f.SchedulerFailed {
+		for _, t := range f.Tenants {
+			t.Failed = true
+			t.Delivered = 0
+		}
+		return 0
+	}
+	// Weighted max-min fair allocation by entitlement.
+	type ent struct {
+		t *Tenant
+		w float64
+	}
+	var ents []ent
+	for _, t := range f.Tenants {
+		t.Failed = false
+		ents = append(ents, ent{t, t.Entitlement})
+	}
+	remaining := f.Capacity
+	demands := make([]float64, len(ents))
+	for i, e := range ents {
+		demands[i] = e.t.Demand
+	}
+	alloc := make([]float64, len(ents))
+	active := make([]bool, len(ents))
+	liveWeight := 0.0
+	for i := range ents {
+		active[i] = true
+		liveWeight += ents[i].w
+	}
+	for remaining > 1e-9 && liveWeight > 0 {
+		progress := false
+		for i, e := range ents {
+			if !active[i] {
+				continue
+			}
+			share := remaining * e.w / liveWeight
+			if demands[i]-alloc[i] <= share {
+				remaining -= demands[i] - alloc[i]
+				alloc[i] = demands[i]
+				active[i] = false
+				liveWeight -= e.w
+				progress = true
+			}
+		}
+		if !progress {
+			for i, e := range ents {
+				if active[i] {
+					alloc[i] += remaining * e.w / liveWeight
+				}
+			}
+			remaining = 0
+		}
+	}
+	total := 0.0
+	for i, e := range ents {
+		e.t.Delivered = alloc[i]
+		total += alloc[i]
+	}
+	return total
+}
+
+// FairnessReport verifies sharing: each tenant's achieved share vs its
+// entitlement — the "how can fairness be verified" question. Overage is
+// capacity a tenant took beyond entitlement while another tenant was
+// demand-limited below its own entitlement (true unfairness, not
+// backfilling of idle capacity).
+type FairnessReport struct {
+	// Shares maps tenant name to delivered/capacity.
+	Shares map[string]float64
+	// MaxOverage is the largest unfair overage found.
+	MaxOverage float64
+}
+
+// Verify audits the last Measure run.
+func (f *Facility) Verify() FairnessReport {
+	r := FairnessReport{Shares: map[string]float64{}}
+	// A tenant is "starved" if it wanted its entitlement but got less.
+	starved := false
+	for _, t := range f.Tenants {
+		share := t.Delivered / f.Capacity
+		r.Shares[t.Name] = share
+		entitledDemand := t.Entitlement * f.Capacity
+		if t.Demand >= entitledDemand && t.Delivered < entitledDemand-1e-9 && !t.Failed {
+			starved = true
+		}
+	}
+	if starved {
+		for _, t := range f.Tenants {
+			over := r.Shares[t.Name] - t.Entitlement
+			if over > r.MaxOverage {
+				r.MaxOverage = over
+			}
+		}
+	}
+	return r
+}
+
+// UpgradeGranularity reports the smallest capacity increment the design
+// can sell a tenant — fractional for TDM (any scheduler weight change),
+// a whole lambda for WDM.
+func (f *Facility) UpgradeGranularity() float64 {
+	if f.Domain == WDM {
+		return f.LambdaCapacity
+	}
+	return 0 // arbitrarily fine-grained
+}
+
+// BlastRadius reports how many tenants a single fault takes out under
+// the design's characteristic failure.
+func (f *Facility) BlastRadius() int {
+	if f.Domain == WDM {
+		return 1 // one lambda, one tenant
+	}
+	return len(f.Tenants) // the shared scheduler
+}
+
+// DelaySim runs a packet-level check of TDM fairness using the WFQ
+// scheduler from internal/qos: each tenant maps to a class with weight
+// proportional to entitlement (supports up to qos.NumClasses tenants).
+// It returns mean delay per tenant, demonstrating that enforcement
+// holds at packet granularity, not just in fluid-flow accounting.
+func (f *Facility) DelaySim(rng *sim.RNG, packets int) (map[string]sim.Time, error) {
+	if len(f.Tenants) > qos.NumClasses {
+		return nil, fmt.Errorf("fiber: DelaySim supports at most %d tenants", qos.NumClasses)
+	}
+	link := qos.NewLinkSim(f.Capacity, qos.WFQ)
+	for i, t := range f.Tenants {
+		link.Weights[i] = t.Entitlement
+	}
+	// Offer load proportional to demand.
+	totalDemand := 0.0
+	for _, t := range f.Tenants {
+		totalDemand += t.Demand
+	}
+	for p := 0; p < packets; p++ {
+		x := rng.Float64() * totalDemand
+		idx := 0
+		for i, t := range f.Tenants {
+			x -= t.Demand
+			if x < 0 {
+				idx = i
+				break
+			}
+		}
+		link.Add(qos.Class(idx), 1000, sim.Time(rng.Intn(1000))*sim.Microsecond)
+	}
+	link.Run()
+	delays := link.MeanDelayByClass()
+	out := map[string]sim.Time{}
+	for i, t := range f.Tenants {
+		out[t.Name] = delays[i]
+	}
+	return out, nil
+}
+
+// TenantNames lists tenants in declaration order (stable reporting).
+func (f *Facility) TenantNames() []string {
+	out := make([]string, len(f.Tenants))
+	for i, t := range f.Tenants {
+		out[i] = t.Name
+	}
+	sort.Strings(out)
+	return out
+}

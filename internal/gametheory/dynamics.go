@@ -1,0 +1,155 @@
+package gametheory
+
+import "math"
+
+// BestResponseDynamics iterates alternating pure best responses from a
+// starting profile, returning the visited profiles. A cycle with period
+// > 1 means the tussle has "no final outcome, no stable point" — the
+// paper's run-time tussle; a fixed point is a pure Nash equilibrium.
+func (g *Game) BestResponseDynamics(startRow, startCol, maxSteps int) (profiles [][2]int, converged bool) {
+	i, j := startRow, startCol
+	profiles = append(profiles, [2]int{i, j})
+	for s := 0; s < maxSteps; s++ {
+		ni := i
+		best := math.Inf(-1)
+		for r := 0; r < g.Rows(); r++ {
+			if g.A[r][j] > best {
+				best, ni = g.A[r][j], r
+			}
+		}
+		nj := j
+		best = math.Inf(-1)
+		for c := 0; c < g.Cols(); c++ {
+			if g.B[ni][c] > best {
+				best, nj = g.B[ni][c], c
+			}
+		}
+		if ni == i && nj == j {
+			return profiles, true
+		}
+		i, j = ni, nj
+		profiles = append(profiles, [2]int{i, j})
+	}
+	return profiles, false
+}
+
+// Replicator runs discrete-time replicator dynamics on a symmetric game
+// (payoff matrix A, one population): the evolutionary/bounded-rationality
+// model of §II-B ("actors are often ill-informed, myopic"). It returns
+// the population mix after steps iterations.
+func Replicator(a [][]float64, initial []float64, steps int) []float64 {
+	n := len(a)
+	x := make([]float64, n)
+	copy(x, initial)
+	for s := 0; s < steps; s++ {
+		fitness := make([]float64, n)
+		var avg float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				fitness[i] += a[i][j] * x[j]
+			}
+			avg += x[i] * fitness[i]
+		}
+		// Shift payoffs to keep fitness positive for the ratio update.
+		minF := math.Inf(1)
+		for _, f := range fitness {
+			minF = math.Min(minF, f)
+		}
+		shift := 0.0
+		if minF <= 0 {
+			shift = -minF + 1
+		}
+		total := 0.0
+		next := make([]float64, n)
+		for i := 0; i < n; i++ {
+			next[i] = x[i] * (fitness[i] + shift)
+			total += next[i]
+		}
+		if total == 0 {
+			return x
+		}
+		for i := range next {
+			next[i] /= total
+		}
+		x = next
+	}
+	return x
+}
+
+// RepeatedStrategy plays an iterated two-action game (0 = cooperate,
+// 1 = defect by convention).
+type RepeatedStrategy interface {
+	Name() string
+	// Play returns the next action given both players' full histories
+	// (own first).
+	Play(own, other []int) int
+}
+
+// Strategy implementations for the iterated tussle.
+type (
+	// AlwaysCooperate never defects.
+	AlwaysCooperate struct{}
+	// AlwaysDefect always defects.
+	AlwaysDefect struct{}
+	// TitForTat cooperates first, then mirrors the opponent.
+	TitForTat struct{}
+	// GrimTrigger cooperates until the first defection, then defects
+	// forever — the "social pressure" enforcement §II-B describes.
+	GrimTrigger struct{}
+)
+
+// Name and Play implement RepeatedStrategy for each strategy type.
+func (AlwaysCooperate) Name() string        { return "always-cooperate" }
+func (AlwaysCooperate) Play(_, _ []int) int { return 0 }
+func (AlwaysDefect) Name() string           { return "always-defect" }
+func (AlwaysDefect) Play(_, _ []int) int    { return 1 }
+func (TitForTat) Name() string              { return "tit-for-tat" }
+func (TitForTat) Play(own, other []int) int {
+	if len(other) == 0 {
+		return 0
+	}
+	return other[len(other)-1]
+}
+func (GrimTrigger) Name() string { return "grim-trigger" }
+func (GrimTrigger) Play(own, other []int) int {
+	for _, a := range other {
+		if a == 1 {
+			return 1
+		}
+	}
+	return 0
+}
+
+// PlayRepeated runs an iterated game between two strategies for rounds
+// rounds and returns cumulative payoffs.
+func PlayRepeated(g *Game, s1, s2 RepeatedStrategy, rounds int) (p1, p2 float64) {
+	var h1, h2 []int
+	for r := 0; r < rounds; r++ {
+		a1 := s1.Play(h1, h2)
+		a2 := s2.Play(h2, h1)
+		p1 += g.A[a1][a2]
+		p2 += g.B[a1][a2]
+		h1 = append(h1, a1)
+		h2 = append(h2, a2)
+	}
+	return p1, p2
+}
+
+// Tournament plays every pair (including self-play) for rounds rounds
+// and returns total scores, Axelrod style.
+func Tournament(g *Game, strategies []RepeatedStrategy, rounds int) map[string]float64 {
+	scores := make(map[string]float64, len(strategies))
+	for i, s1 := range strategies {
+		for j, s2 := range strategies {
+			if j < i {
+				continue
+			}
+			p1, p2 := PlayRepeated(g, s1, s2, rounds)
+			scores[s1.Name()] += p1
+			if i != j {
+				scores[s2.Name()] += p2
+			}
+		}
+	}
+	return scores
+}

@@ -1,0 +1,415 @@
+package middlebox
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/trust"
+)
+
+func pkt(t *testing.T, tip packet.TIP, ttp *packet.TTP, payload []byte) []byte {
+	t.Helper()
+	layers := []packet.SerializableLayer{&tip}
+	if ttp != nil {
+		tip.Proto = packet.LayerTypeTTP
+		layers = append(layers, ttp)
+	}
+	layers = append(layers, &packet.Raw{Data: payload})
+	if ttp != nil && ttp.Next == 0 {
+		ttp.Next = packet.LayerTypeRaw
+	}
+	if tip.Proto == 0 {
+		tip.Proto = packet.LayerTypeRaw
+	}
+	if tip.TTL == 0 {
+		tip.TTL = 8
+	}
+	data, err := packet.Serialize(layers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestPortFirewallBlocksConfiguredPort(t *testing.T) {
+	fw := &PortFirewall{Label: "fw", BlockedPorts: map[uint16]bool{25: true}}
+	blocked := pkt(t, packet.TIP{Src: 1, Dst: 2}, &packet.TTP{DstPort: 25}, nil)
+	allowed := pkt(t, packet.TIP{Src: 1, Dst: 2}, &packet.TTP{DstPort: 80}, nil)
+	if _, v := fw.Process(2, netsim.Delivering, blocked); v != netsim.Drop {
+		t.Fatal("port 25 not blocked")
+	}
+	if _, v := fw.Process(2, netsim.Delivering, allowed); v != netsim.Accept {
+		t.Fatal("port 80 wrongly blocked")
+	}
+	if fw.Hits != 1 {
+		t.Fatalf("hits = %d", fw.Hits)
+	}
+}
+
+func TestPortFirewallInboundOnly(t *testing.T) {
+	fw := &PortFirewall{Label: "fw", BlockedPorts: map[uint16]bool{80: true}, BlockInbound: true}
+	data := pkt(t, packet.TIP{Src: 1, Dst: 2}, &packet.TTP{DstPort: 80}, nil)
+	if _, v := fw.Process(3, netsim.Forwarding, data); v != netsim.Accept {
+		t.Fatal("transit traffic should pass an inbound-only firewall")
+	}
+	if _, v := fw.Process(2, netsim.Delivering, data); v != netsim.Drop {
+		t.Fatal("inbound traffic should be blocked")
+	}
+}
+
+func TestPortFirewallTunnelEvasion(t *testing.T) {
+	// The §V-A2 counter-move: the forbidden port hides inside a tunnel
+	// on an allowed port, and the port firewall cannot see it.
+	fw := &PortFirewall{Label: "fw", BlockedPorts: map[uint16]bool{80: true}}
+	inner := pkt(t, packet.TIP{Src: packet.MakeAddr(1, 1), Dst: packet.MakeAddr(2, 1)}, &packet.TTP{DstPort: 80}, []byte("web"))
+	outer, err := packet.Serialize(
+		&packet.TIP{TTL: 8, Proto: packet.LayerTypeTTP, Src: packet.MakeAddr(1, 1), Dst: packet.MakeAddr(2, 1)},
+		&packet.TTP{DstPort: 443, Next: packet.LayerTypeTunnel},
+		&packet.Tunnel{Inner: packet.LayerTypeTIP},
+		&packet.Raw{Data: inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, v := fw.Process(2, netsim.Delivering, outer); v != netsim.Accept {
+		t.Fatal("tunneled traffic should evade the port firewall")
+	}
+}
+
+func TestPortFirewallDisclosure(t *testing.T) {
+	fw := &PortFirewall{Label: "fw", BlockedPorts: map[uint16]bool{25: true, 80: true}}
+	rules, ok := fw.Rules()
+	if !ok || len(rules) != 2 || rules[0] != "deny port 25" {
+		t.Fatalf("rules = %v, %v", rules, ok)
+	}
+	fw.Quiet = true
+	if _, ok := fw.Rules(); ok {
+		t.Fatal("quiet firewall disclosed rules")
+	}
+}
+
+func TestTrustFirewall(t *testing.T) {
+	rep := trust.NewReputation("rep", 1.0)
+	for i := 0; i < 10; i++ {
+		rep.Report("goodguy", true, nil)
+		rep.Report("badguy", false, nil)
+	}
+	fw := &TrustFirewall{Label: "tfw", MinScore: 0.5, Rep: rep}
+
+	mk := func(id *packet.IdentityOption) []byte {
+		return pkt(t, packet.TIP{Src: 1, Dst: 2, Identity: id}, &packet.TTP{DstPort: 9999}, nil)
+	}
+	good := mk(&packet.IdentityOption{Scheme: packet.IdentityCertified, ID: []byte("goodguy")})
+	bad := mk(&packet.IdentityOption{Scheme: packet.IdentityCertified, ID: []byte("badguy")})
+	anon := mk(&packet.IdentityOption{Scheme: packet.IdentityAnonymous})
+	none := mk(nil)
+
+	if _, v := fw.Process(2, netsim.Delivering, good); v != netsim.Accept {
+		t.Fatal("reputable sender blocked")
+	}
+	if _, v := fw.Process(2, netsim.Delivering, bad); v != netsim.Drop {
+		t.Fatal("disreputable sender admitted")
+	}
+	if _, v := fw.Process(2, netsim.Delivering, anon); v != netsim.Drop {
+		t.Fatal("anonymous sender admitted by default")
+	}
+	if _, v := fw.Process(2, netsim.Delivering, none); v != netsim.Drop {
+		t.Fatal("unidentified sender admitted")
+	}
+	fw.AllowAnonymous = true
+	if _, v := fw.Process(2, netsim.Delivering, anon); v != netsim.Accept {
+		t.Fatal("anonymous sender blocked despite AllowAnonymous")
+	}
+	// Note: unlike the port firewall, ports are irrelevant here.
+	if _, v := fw.Process(2, netsim.Forwarding, bad); v != netsim.Accept {
+		t.Fatal("trust firewall should only filter at delivery")
+	}
+}
+
+func TestPolicyFirewall(t *testing.T) {
+	doc, err := policy.Parse(`policy "edge" {
+        rule no-anon { when identity-scheme == "anonymous" then deny "identify yourself" }
+        rule no-smtp { when port == 25 && direction == "inbound" then deny }
+        rule opaque { when encrypted && !inspectable then deny "opaque crypto" }
+        default permit
+    }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := &PolicyFirewall{Label: "pfw", Doc: doc}
+
+	anon := pkt(t, packet.TIP{Src: 1, Dst: 2, Identity: &packet.IdentityOption{Scheme: packet.IdentityAnonymous}}, &packet.TTP{DstPort: 80}, nil)
+	if _, v := fw.Process(2, netsim.Delivering, anon); v != netsim.Drop {
+		t.Fatal("anonymous not denied")
+	}
+	smtp := pkt(t, packet.TIP{Src: 1, Dst: 2, Identity: &packet.IdentityOption{Scheme: packet.IdentityCertified, ID: []byte("a")}}, &packet.TTP{DstPort: 25}, nil)
+	if _, v := fw.Process(2, netsim.Delivering, smtp); v != netsim.Drop {
+		t.Fatal("inbound smtp not denied")
+	}
+	if _, v := fw.Process(2, netsim.Forwarding, smtp); v != netsim.Accept {
+		t.Fatal("transit smtp should pass (direction != inbound)")
+	}
+	web := pkt(t, packet.TIP{Src: 1, Dst: 2, Identity: &packet.IdentityOption{Scheme: packet.IdentityCertified, ID: []byte("a")}}, &packet.TTP{DstPort: 443}, nil)
+	if _, v := fw.Process(2, netsim.Delivering, web); v != netsim.Accept {
+		t.Fatal("default permit failed")
+	}
+}
+
+func TestPolicyFirewallCryptoVisibility(t *testing.T) {
+	doc, err := policy.Parse(`policy "crypto" {
+        rule opaque { when encrypted && !inspectable then deny }
+        default permit
+    }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := &PolicyFirewall{Label: "pfw", Doc: doc}
+	key := []byte("k")
+	mk := func(flags uint8) []byte {
+		c := &packet.Crypto{Flags: flags, Nonce: 1}
+		c.Seal(key, []byte("secret"), packet.LayerTypeRaw)
+		cdata, err := packet.Serialize(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := packet.Serialize(
+			&packet.TIP{TTL: 8, Proto: packet.LayerTypeTTP, Src: 1, Dst: 2},
+			&packet.TTP{DstPort: 7, Next: packet.LayerTypeCrypto},
+			&packet.Raw{Data: cdata})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if _, v := fw.Process(2, netsim.Delivering, mk(0)); v != netsim.Drop {
+		t.Fatal("opaque crypto admitted")
+	}
+	if _, v := fw.Process(2, netsim.Delivering, mk(packet.CryptoInspectable)); v != netsim.Accept {
+		t.Fatal("inspectable crypto blocked")
+	}
+}
+
+func TestNATTranslatesAndRestores(t *testing.T) {
+	public := packet.MakeAddr(5, 1)
+	nat := NewNAT("nat", public)
+	internal := packet.MakeAddr(5, 77)
+	out := pkt(t, packet.TIP{Src: internal, Dst: packet.MakeAddr(9, 1)}, &packet.TTP{SrcPort: 1234, DstPort: 80}, []byte("req"))
+
+	translated, v := nat.Process(5, netsim.Sending, out)
+	if v != netsim.Accept || translated == nil {
+		t.Fatal("outbound not translated")
+	}
+	var tip packet.TIP
+	var ttp packet.TTP
+	if err := tip.DecodeFrom(translated); err != nil {
+		t.Fatal(err)
+	}
+	if err := ttp.DecodeFrom(tip.LayerPayload()); err != nil {
+		t.Fatal(err)
+	}
+	if tip.Src != public {
+		t.Fatalf("src = %v, want %v", tip.Src, public)
+	}
+	extPort := ttp.SrcPort
+
+	// Reply comes back to the public address and the external port.
+	reply := pkt(t, packet.TIP{Src: packet.MakeAddr(9, 1), Dst: public}, &packet.TTP{SrcPort: 80, DstPort: extPort}, []byte("resp"))
+	restored, v := nat.Process(5, netsim.Delivering, reply)
+	if v != netsim.Accept || restored == nil {
+		t.Fatal("inbound not restored")
+	}
+	if err := tip.DecodeFrom(restored); err != nil {
+		t.Fatal(err)
+	}
+	if tip.Dst != internal {
+		t.Fatalf("restored dst = %v, want %v", tip.Dst, internal)
+	}
+	if nat.Translations != 2 {
+		t.Fatalf("translations = %d", nat.Translations)
+	}
+}
+
+func TestNATPassesUnrelatedInbound(t *testing.T) {
+	nat := NewNAT("nat", packet.MakeAddr(5, 1))
+	in := pkt(t, packet.TIP{Src: 9, Dst: packet.MakeAddr(5, 1)}, &packet.TTP{DstPort: 9999}, nil)
+	out, v := nat.Process(5, netsim.Delivering, in)
+	if v != netsim.Accept || out != nil {
+		t.Fatal("unmapped inbound should pass untouched")
+	}
+}
+
+func TestRedirector(t *testing.T) {
+	r := &Redirector{Label: "smtp-hijack", MatchPort: 25, To: packet.MakeAddr(5, 25)}
+	mail := pkt(t, packet.TIP{Src: 1, Dst: packet.MakeAddr(9, 1)}, &packet.TTP{DstPort: 25}, []byte("MAIL"))
+	out, v := r.Process(5, netsim.Forwarding, mail)
+	if v != netsim.Accept || out == nil {
+		t.Fatal("mail not redirected")
+	}
+	var tip packet.TIP
+	if err := tip.DecodeFrom(out); err != nil {
+		t.Fatal(err)
+	}
+	if tip.Dst != packet.MakeAddr(5, 25) {
+		t.Fatalf("redirected to %v", tip.Dst)
+	}
+	web := pkt(t, packet.TIP{Src: 1, Dst: packet.MakeAddr(9, 1)}, &packet.TTP{DstPort: 80}, nil)
+	if out, _ := r.Process(5, netsim.Forwarding, web); out != nil {
+		t.Fatal("non-matching traffic rewritten")
+	}
+	if r.Redirected != 1 {
+		t.Fatalf("redirected = %d", r.Redirected)
+	}
+}
+
+func TestWiretapReadsClearMissesCrypto(t *testing.T) {
+	w := &Wiretap{Label: "tap", MatchSrc: 1}
+	clear := pkt(t, packet.TIP{Src: packet.MakeAddr(1, 1), Dst: 2}, &packet.TTP{DstPort: 80}, []byte("private"))
+	w.Process(3, netsim.Forwarding, clear)
+
+	c := &packet.Crypto{Nonce: 1}
+	c.Seal([]byte("k"), []byte("private"), packet.LayerTypeRaw)
+	cdata, err := packet.Serialize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := packet.Serialize(
+		&packet.TIP{TTL: 8, Proto: packet.LayerTypeTTP, Src: packet.MakeAddr(1, 1), Dst: 2},
+		&packet.TTP{DstPort: 80, Next: packet.LayerTypeCrypto},
+		&packet.Raw{Data: cdata})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Process(3, netsim.Forwarding, enc)
+
+	other := pkt(t, packet.TIP{Src: packet.MakeAddr(7, 1), Dst: 2}, &packet.TTP{DstPort: 80}, nil)
+	w.Process(3, netsim.Forwarding, other)
+
+	if len(w.Captured) != 2 {
+		t.Fatalf("captured %d, want 2 (matching src only)", len(w.Captured))
+	}
+	if f := w.ReadableFraction(); f != 0.5 {
+		t.Fatalf("readable fraction = %v, want 0.5", f)
+	}
+	if !w.Silent() {
+		t.Fatal("wiretaps must be silent")
+	}
+}
+
+func TestEncryptionBlocker(t *testing.T) {
+	key := []byte("k")
+	mk := func(flags uint8) []byte {
+		c := &packet.Crypto{Flags: flags, Nonce: 2}
+		c.Seal(key, []byte("x"), packet.LayerTypeRaw)
+		cdata, err := packet.Serialize(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := packet.Serialize(
+			&packet.TIP{TTL: 8, Proto: packet.LayerTypeCrypto, Src: 1, Dst: 2},
+			&packet.Raw{Data: cdata})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	eb := &EncryptionBlocker{Label: "no-vpn"}
+	if _, v := eb.Process(2, netsim.Forwarding, mk(0)); v != netsim.Drop {
+		t.Fatal("opaque crypto passed")
+	}
+	clear := pkt(t, packet.TIP{Src: 1, Dst: 2}, &packet.TTP{DstPort: 80}, nil)
+	if _, v := eb.Process(2, netsim.Forwarding, clear); v != netsim.Accept {
+		t.Fatal("cleartext blocked")
+	}
+	eb2 := &EncryptionBlocker{Label: "visible-ok", AllowInspectable: true}
+	if _, v := eb2.Process(2, netsim.Forwarding, mk(packet.CryptoInspectable)); v != netsim.Accept {
+		t.Fatal("inspectable crypto blocked despite exemption")
+	}
+	if _, v := eb2.Process(2, netsim.Forwarding, mk(0)); v != netsim.Drop {
+		t.Fatal("opaque crypto passed the exempting blocker")
+	}
+}
+
+func TestPolicyFirewallOntologyBound(t *testing.T) {
+	// A policy referencing an attribute outside the firewall's
+	// vocabulary cannot be enforced — Analyze flags it, and at run time
+	// the rule errors and is skipped (fail-safe).
+	doc, err := policy.Parse(`policy "beyond" {
+        rule future { when quantum-entangled == true then deny }
+        default permit
+    }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := policy.Analyze(doc, Vocabulary); len(out) != 1 || out[0] != "quantum-entangled" {
+		t.Fatalf("Analyze = %v", out)
+	}
+	fw := &PolicyFirewall{Label: "pfw", Doc: doc}
+	data := pkt(t, packet.TIP{Src: 1, Dst: 2}, &packet.TTP{DstPort: 80}, nil)
+	if _, v := fw.Process(2, netsim.Delivering, data); v != netsim.Accept {
+		t.Fatal("unenforceable rule should fail open to default")
+	}
+	if fw.Errors == 0 {
+		t.Fatal("ontology violation not recorded")
+	}
+}
+
+func TestMiddleboxAccessors(t *testing.T) {
+	boxes := []struct {
+		name   string
+		silent bool
+		mb     netsim.Middlebox
+	}{
+		{"pf", false, &PortFirewall{Label: "pf"}},
+		{"tf", false, &TrustFirewall{Label: "tf"}},
+		{"pof", false, &PolicyFirewall{Label: "pof"}},
+		{"nat", false, NewNAT("nat", 1)},
+		{"rd", false, &Redirector{Label: "rd"}},
+		{"tap", true, &Wiretap{Label: "tap"}},
+		{"eb", false, &EncryptionBlocker{Label: "eb"}},
+		{"nfw", false, &NegotiableFirewall{Label: "nfw"}},
+	}
+	for _, b := range boxes {
+		if b.mb.Name() != b.name {
+			t.Errorf("Name() = %q, want %q", b.mb.Name(), b.name)
+		}
+		if b.mb.Silent() != b.silent {
+			t.Errorf("%s: Silent() = %v", b.name, b.mb.Silent())
+		}
+	}
+	// Quiet variants report silent.
+	quiets := []netsim.Middlebox{
+		&PortFirewall{Label: "q", Quiet: true},
+		&TrustFirewall{Label: "q", Quiet: true},
+		&PolicyFirewall{Label: "q", Quiet: true},
+		&Redirector{Label: "q", Quiet: true},
+		&EncryptionBlocker{Label: "q", Quiet: true},
+		&NegotiableFirewall{Label: "q", Quiet: true},
+	}
+	for _, mb := range quiets {
+		if !mb.Silent() {
+			t.Errorf("%T quiet variant not silent", mb)
+		}
+	}
+}
+
+func TestMiddleboxesPassMalformedTraffic(t *testing.T) {
+	// Garbage bytes must pass every middlebox unharmed (fail-open for
+	// classification, the forwarding plane drops malformed packets
+	// itself).
+	garbage := []byte{0xde, 0xad}
+	boxes := []netsim.Middlebox{
+		&PortFirewall{Label: "pf", BlockedPorts: map[uint16]bool{1: true}},
+		&TrustFirewall{Label: "tf"},
+		NewNAT("nat", 1),
+		&Redirector{Label: "rd", MatchPort: 1},
+		&Wiretap{Label: "tap"},
+		&EncryptionBlocker{Label: "eb"},
+		&NegotiableFirewall{Label: "nfw"},
+	}
+	for _, mb := range boxes {
+		if out, v := mb.Process(1, netsim.Delivering, garbage); v != netsim.Accept || out != nil {
+			t.Errorf("%T mangled garbage: %v %v", mb, out, v)
+		}
+	}
+}

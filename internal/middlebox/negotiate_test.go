@@ -1,0 +1,132 @@
+package middlebox
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/policy"
+	"repro/internal/trust"
+)
+
+func negotiationDoc(t *testing.T) *policy.Document {
+	t.Helper()
+	doc, err := policy.Parse(`policy "pinholes" {
+        principal admin
+        applies-to firewall-control
+        rule no-anon { when identity-scheme == "anonymous" || identity-scheme == "none" then deny "identify yourself" }
+        rule no-privileged { when requested-port < 1024 then deny "privileged ports are not negotiable" }
+        rule reputable { when reputation >= 0.5 then permit }
+        default deny "insufficient reputation"
+    }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestNegotiableFirewallGrantsAndEnforces(t *testing.T) {
+	rep := trust.NewReputation("rep", 1.0)
+	for i := 0; i < 10; i++ {
+		rep.Report("alice", true, nil)
+	}
+	fw := &NegotiableFirewall{Label: "nfw", Doc: negotiationDoc(t), Rep: rep,
+		AlwaysOpen: map[uint16]bool{80: true}}
+
+	fwAddr := packet.MakeAddr(2, 1)
+	alice := &packet.IdentityOption{Scheme: packet.IdentityCertified, ID: []byte("alice")}
+	dataPkt := func(port uint16) []byte {
+		return pkt(t, packet.TIP{Src: packet.MakeAddr(1, 1), Dst: fwAddr}, &packet.TTP{DstPort: port}, []byte("d"))
+	}
+
+	// Data to a closed port: dropped.
+	if _, v := fw.Process(2, netsim.Delivering, dataPkt(7777)); v != netsim.Drop {
+		t.Fatal("closed port admitted")
+	}
+	// Always-open port: fine.
+	if _, v := fw.Process(2, netsim.Delivering, dataPkt(80)); v != netsim.Accept {
+		t.Fatal("always-open port blocked")
+	}
+	// Negotiate 7777.
+	req, err := PinholeRequest(packet.MakeAddr(1, 1), fwAddr, alice, 7777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, v := fw.Process(2, netsim.Delivering, req); v != netsim.Drop {
+		t.Fatal("control packet should be consumed")
+	}
+	if fw.Granted != 1 {
+		t.Fatalf("granted = %d", fw.Granted)
+	}
+	if _, v := fw.Process(2, netsim.Delivering, dataPkt(7777)); v != netsim.Accept {
+		t.Fatal("negotiated pinhole not honored")
+	}
+	// Revocation works.
+	fw.Close(7777)
+	if _, v := fw.Process(2, netsim.Delivering, dataPkt(7777)); v != netsim.Drop {
+		t.Fatal("closed pinhole still open")
+	}
+}
+
+func TestNegotiableFirewallDenials(t *testing.T) {
+	rep := trust.NewReputation("rep", 1.0)
+	for i := 0; i < 10; i++ {
+		rep.Report("mallory", false, nil)
+	}
+	fw := &NegotiableFirewall{Label: "nfw", Doc: negotiationDoc(t), Rep: rep}
+	fwAddr := packet.MakeAddr(2, 1)
+
+	cases := []struct {
+		name string
+		id   *packet.IdentityOption
+		port uint16
+	}{
+		{"anonymous requester", &packet.IdentityOption{Scheme: packet.IdentityAnonymous}, 7777},
+		{"no identity", nil, 7777},
+		{"privileged port", &packet.IdentityOption{Scheme: packet.IdentityCertified, ID: []byte("alice")}, 22},
+		{"bad reputation", &packet.IdentityOption{Scheme: packet.IdentityCertified, ID: []byte("mallory")}, 7777},
+	}
+	for _, c := range cases {
+		req, err := PinholeRequest(packet.MakeAddr(1, 1), fwAddr, c.id, c.port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw.Process(2, netsim.Delivering, req)
+		if len(fw.Pinholes()) != 0 {
+			t.Fatalf("%s: pinhole granted", c.name)
+		}
+	}
+	if fw.Denied != len(cases) {
+		t.Fatalf("denied = %d, want %d", fw.Denied, len(cases))
+	}
+}
+
+func TestNegotiableFirewallMalformedRequest(t *testing.T) {
+	fw := &NegotiableFirewall{Label: "nfw", Doc: negotiationDoc(t)}
+	// Control packet with an empty payload.
+	bad := pkt(t, packet.TIP{Src: 1, Dst: 2}, &packet.TTP{DstPort: ControlPort}, nil)
+	fw.Process(2, netsim.Delivering, bad)
+	if fw.Denied != 1 || len(fw.Pinholes()) != 0 {
+		t.Fatalf("malformed request handling: denied=%d", fw.Denied)
+	}
+}
+
+func TestNegotiableFirewallNoDocDeniesAll(t *testing.T) {
+	fw := &NegotiableFirewall{Label: "nfw"}
+	req, err := PinholeRequest(1, 2, &packet.IdentityOption{Scheme: packet.IdentityCertified, ID: []byte("x")}, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Process(2, netsim.Delivering, req)
+	if fw.Granted != 0 || fw.Denied != 1 {
+		t.Fatal("docless firewall should deny")
+	}
+}
+
+func TestNegotiableFirewallTransitUntouched(t *testing.T) {
+	fw := &NegotiableFirewall{Label: "nfw", Doc: negotiationDoc(t)}
+	data := pkt(t, packet.TIP{Src: 1, Dst: 9}, &packet.TTP{DstPort: 7777}, nil)
+	if _, v := fw.Process(2, netsim.Forwarding, data); v != netsim.Accept {
+		t.Fatal("transit traffic filtered")
+	}
+}

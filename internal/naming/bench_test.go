@@ -1,0 +1,36 @@
+package naming
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func BenchmarkResolveWithCache(b *testing.B) {
+	root := NewRoot()
+	z := root.Delegate("zone")
+	for i := 0; i < 100; i++ {
+		z.Bind(fmt.Sprintf("host-%d", i), 1)
+	}
+	now := sim.Time(0)
+	r := NewResolver(root, 100*sim.Second, func() sim.Time { return now })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Resolve(fmt.Sprintf("host-%d.zone", i%100)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkDispute(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg := NewRegistry(false)
+		for j := 0; j < 100; j++ {
+			reg.Register(SpaceMachine, fmt.Sprintf("acme.host-%d", j), "bob", 1)
+		}
+		reg.FileDispute(Dispute{Mark: "acme", Holder: "corp"}, nil)
+	}
+}

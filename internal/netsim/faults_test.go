@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestLinkFailureDropsTraffic(t *testing.T) {
+	n, sched := chainNet(t)
+	n.FailLink(2, 3)
+	tr := n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.Run()
+	if tr.Delivered {
+		t.Fatal("delivered across a failed link")
+	}
+	if tr.DropReason != "link-down" {
+		t.Fatalf("drop reason = %q", tr.DropReason)
+	}
+	n.RestoreLink(2, 3)
+	tr2 := n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.Run()
+	if !tr2.Delivered {
+		t.Fatal("restore failed")
+	}
+}
+
+func TestLinkFailedSymmetric(t *testing.T) {
+	n, _ := chainNet(t)
+	n.FailLink(3, 2)
+	if !n.LinkFailed(2, 3) || !n.LinkFailed(3, 2) {
+		t.Fatal("failure should be direction-agnostic")
+	}
+}
+
+func TestFlapLink(t *testing.T) {
+	n, sched := chainNet(t)
+	n.FlapLink(2, 3, 10*sim.Millisecond, 50*sim.Millisecond)
+	// Before the flap: works.
+	early := n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.RunUntil(9 * sim.Millisecond)
+	if !early.Delivered {
+		t.Fatalf("pre-flap packet lost: %q", early.DropReason)
+	}
+	// During: fails.
+	sched.RunUntil(20 * sim.Millisecond)
+	mid := n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.RunUntil(40 * sim.Millisecond)
+	if mid.Delivered {
+		t.Fatal("mid-flap packet delivered")
+	}
+	// After: works again.
+	sched.RunUntil(60 * sim.Millisecond)
+	late := n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.Run()
+	if !late.Delivered {
+		t.Fatalf("post-flap packet lost: %q", late.DropReason)
+	}
+}
+
+func TestTracerouteFullPath(t *testing.T) {
+	n, _ := chainNet(t)
+	hops := n.Traceroute(1, packet.MakeAddr(4, 1), 10, nil)
+	if len(hops) != 3 {
+		t.Fatalf("hops = %+v", hops)
+	}
+	// TTL=1 expires at node 2, TTL=2 at node 3; TTL=3 reaches node 4
+	// (delivery does not decrement).
+	want := []topology.NodeID{2, 3, 4}
+	for i, h := range hops {
+		if h.Node != want[i] {
+			t.Fatalf("hop %d = %+v, want node %d", i, h, want[i])
+		}
+	}
+	if hops[2].Note != "destination" {
+		t.Fatalf("final hop = %+v", hops[2])
+	}
+	for _, h := range hops[:2] {
+		if h.Note != "time-exceeded" {
+			t.Fatalf("intermediate hop = %+v", h)
+		}
+	}
+}
+
+func TestTracerouteIdentifiesDisclosingBlocker(t *testing.T) {
+	n, _ := chainNet(t)
+	n.Node(3).AddMiddlebox(&dropBox{name: "corp-fw"})
+	hops := n.Traceroute(1, packet.MakeAddr(4, 1), 10, nil)
+	last := hops[len(hops)-1]
+	if last.Node != 3 || last.Note != "blocked:corp-fw" {
+		t.Fatalf("blocker not identified: %+v", last)
+	}
+}
+
+func TestTracerouteSilentBlockerGoesDark(t *testing.T) {
+	n, _ := chainNet(t)
+	n.Node(3).AddMiddlebox(&dropBox{name: "covert", silent: true})
+	hops := n.Traceroute(1, packet.MakeAddr(4, 1), 10, nil)
+	last := hops[len(hops)-1]
+	if last.Note != "lost" || last.Node != 0 {
+		t.Fatalf("silent device leaked identity: %+v", last)
+	}
+	// But path inference still works: the hop before went dark after
+	// node 2 answered, so the fault is bracketed.
+	if len(hops) < 2 || hops[len(hops)-2].Node != 2 {
+		t.Fatalf("bracketing hop missing: %+v", hops)
+	}
+}
+
+func TestPathMTUProbe(t *testing.T) {
+	n, _ := chainNet(t)
+	// TIP total length is 16-bit; huge payloads fail to serialize, so
+	// the probe finds the serialization limit.
+	mtu := n.PathMTUProbe(1, packet.MakeAddr(4, 1), 100, 100000)
+	if mtu < 60000 || mtu > 65535 {
+		t.Fatalf("mtu = %d", mtu)
+	}
+	// Unreachable destination: zero.
+	n.FailLink(1, 2)
+	if got := n.PathMTUProbe(1, packet.MakeAddr(4, 1), 100, 1000); got != 0 {
+		t.Fatalf("unreachable mtu = %d", got)
+	}
+}

@@ -1,0 +1,405 @@
+// Package netsim is the hop-by-hop packet forwarding simulator: nodes (one
+// per autonomous system) connected by latency/bandwidth links, each with a
+// pluggable routing function, a stack of middleboxes, and a local delivery
+// handler. It runs on the deterministic event scheduler in internal/sim
+// and carries the self-describing datagrams of internal/packet.
+//
+// Per-packet traces record the path taken and, on failure, where and why
+// the packet died — the "tools to resolve and isolate faults" that §IV-C
+// and §VI-A of the paper call for. A middlebox may be configured silent,
+// in which case the trace records only an anonymous loss, reproducing the
+// diagnostic asymmetry the paper warns about ("some devices that impair
+// transparency may intentionally give no error information").
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Direction tells a middlebox how the packet is moving relative to the
+// node evaluating it.
+type Direction uint8
+
+// Packet directions at a node.
+const (
+	// Forwarding: the packet is transiting this node.
+	Forwarding Direction = iota
+	// Delivering: the packet terminates at this node.
+	Delivering
+	// Sending: the packet originates at this node.
+	Sending
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Forwarding:
+		return "forward"
+	case Delivering:
+		return "deliver"
+	default:
+		return "send"
+	}
+}
+
+// Verdict is a middlebox's decision about a packet.
+type Verdict uint8
+
+// Middlebox verdicts.
+const (
+	// Accept passes the (possibly transformed) packet on.
+	Accept Verdict = iota
+	// Drop discards the packet.
+	Drop
+)
+
+// Middlebox inspects and possibly transforms or drops packets at a node.
+// Implementations live in internal/middlebox; the interface is defined
+// here so the simulator does not depend on them.
+type Middlebox interface {
+	// Name identifies the device in traces (when it is not silent).
+	Name() string
+	// Process examines data and returns the bytes to continue with and
+	// a verdict. Returning different bytes models transformation (NAT,
+	// redirection, cache answer).
+	Process(node topology.NodeID, dir Direction, data []byte) ([]byte, Verdict)
+	// Silent devices do not reveal themselves in drop reports.
+	Silent() bool
+}
+
+// RouteFunc decides the next hop for a packet at a node. It receives the
+// destination and the decoded network header (for policy-sensitive
+// routing, e.g. ToS-aware or source-route-aware decisions). ok=false
+// means "no route".
+type RouteFunc func(dst packet.Addr, tip *packet.TIP) (topology.NodeID, bool)
+
+// DeliverFunc handles a packet that reached its destination node.
+type DeliverFunc func(n *Node, t *Trace, data []byte)
+
+// Node is one forwarding element (an AS border router).
+type Node struct {
+	ID  topology.NodeID
+	Net *Network
+
+	// Route computes next hops; nil means the node can only deliver.
+	Route RouteFunc
+	// HonorSourceRoutes controls whether this node obeys source-route
+	// options — the provider's side of the §V-A4 tussle. A provider
+	// that does not honor them forwards by its own routing only.
+	HonorSourceRoutes bool
+	// RequirePaymentForSourceRoute models the §V-A4 recommendation:
+	// the provider honors source routes only when the packet carries a
+	// payment voucher.
+	RequirePaymentForSourceRoute bool
+	// Middleboxes are processed in order; any Drop wins.
+	Middleboxes []Middlebox
+	// Deliver handles locally-destined traffic (after middleboxes).
+	Deliver DeliverFunc
+
+	// Counters accumulates per-node statistics.
+	Counters sim.Counter
+}
+
+// AddMiddlebox appends m to the node's processing chain.
+func (n *Node) AddMiddlebox(m Middlebox) { n.Middleboxes = append(n.Middleboxes, m) }
+
+// RemoveMiddlebox removes the first middlebox with the given name.
+func (n *Node) RemoveMiddlebox(name string) bool {
+	for i, m := range n.Middleboxes {
+		if m.Name() == name {
+			n.Middleboxes = append(n.Middleboxes[:i], n.Middleboxes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// linkState tracks per-link transmission backlog for serialization delay
+// and queue-overflow drops.
+type linkState struct {
+	busyUntil sim.Time
+}
+
+// Network is the assembled simulator.
+type Network struct {
+	Sched *sim.Scheduler
+	Graph *topology.Graph
+	nodes map[topology.NodeID]*Node
+
+	// LinkRate is bytes/second of every link (serialization delay).
+	LinkRate float64
+	// MaxQueue is the maximum per-link backlog before tail drop.
+	MaxQueue sim.Time
+	// HopProcessing is fixed per-hop processing latency.
+	HopProcessing sim.Time
+
+	links  map[[2]topology.NodeID]*linkState
+	failed map[[2]topology.NodeID]bool
+
+	// Stats aggregates network-wide counters.
+	Stats sim.Counter
+	// Delivered and Dropped tally packet fates.
+	Delivered, Dropped int
+}
+
+// New builds a Network over a topology. All nodes start with no routes,
+// no middleboxes, and no delivery handler.
+func New(sched *sim.Scheduler, g *topology.Graph) *Network {
+	n := &Network{
+		Sched:         sched,
+		Graph:         g,
+		nodes:         make(map[topology.NodeID]*Node, len(g.Nodes)),
+		LinkRate:      1e8, // 800 Mbit/s
+		MaxQueue:      100 * sim.Millisecond,
+		HopProcessing: 10 * sim.Microsecond,
+		links:         make(map[[2]topology.NodeID]*linkState),
+		Stats:         sim.Counter{},
+	}
+	for id := range g.Nodes {
+		n.nodes[id] = &Node{ID: id, Net: n, Counters: sim.Counter{}}
+	}
+	return n
+}
+
+// Node returns the node for id; it panics on unknown IDs (a wiring bug).
+func (n *Network) Node(id topology.NodeID) *Node {
+	nd, ok := n.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown node %d", id))
+	}
+	return nd
+}
+
+// TraceEvent is one step in a packet's life.
+type TraceEvent struct {
+	At     sim.Time
+	Node   topology.NodeID
+	Action string // "send", "forward", "deliver", "drop"
+	Detail string // drop reason or middlebox name; empty when silent
+}
+
+// Trace is the per-packet record: the fault-isolation tool.
+type Trace struct {
+	Events    []TraceEvent
+	Delivered bool
+	// DropNode/DropReason are set when the packet died. For a silent
+	// middlebox the reason is "lost" and the responsible device is not
+	// identified — diagnosis must fall back on path inference.
+	DropNode   topology.NodeID
+	DropReason string
+	SentAt     sim.Time
+	DoneAt     sim.Time
+}
+
+// Path returns the sequence of nodes the packet visited.
+func (t *Trace) Path() []topology.NodeID {
+	var p []topology.NodeID
+	for _, e := range t.Events {
+		if e.Action != "drop" {
+			p = append(p, e.Node)
+		}
+	}
+	return p
+}
+
+// Latency returns the packet's network transit time (zero if undelivered).
+func (t *Trace) Latency() sim.Time {
+	if !t.Delivered {
+		return 0
+	}
+	return t.DoneAt - t.SentAt
+}
+
+func (t *Trace) record(at sim.Time, node topology.NodeID, action, detail string) {
+	t.Events = append(t.Events, TraceEvent{At: at, Node: node, Action: action, Detail: detail})
+}
+
+// Send injects a packet at node src. The returned Trace fills in as the
+// simulation runs; inspect it after the scheduler drains.
+func (n *Network) Send(src topology.NodeID, data []byte) *Trace {
+	t := &Trace{SentAt: n.Sched.Now()}
+	nd := n.Node(src)
+	n.Sched.After(0, func() {
+		t.record(n.Sched.Now(), src, "send", "")
+		nd.process(t, data, Sending, src)
+	})
+	return t
+}
+
+func (n *Network) drop(t *Trace, node topology.NodeID, reason string) {
+	n.Dropped++
+	n.Stats.Inc("drop:" + reason)
+	t.DropNode = node
+	t.DropReason = reason
+	t.DoneAt = n.Sched.Now()
+	t.record(n.Sched.Now(), node, "drop", reason)
+}
+
+// process runs a packet through a node: middleboxes, then delivery or
+// forwarding. ingress is the node the packet came from (== node for
+// locally originated traffic).
+func (nd *Node) process(t *Trace, data []byte, dir Direction, ingress topology.NodeID) {
+	n := nd.Net
+	var tip packet.TIP
+	if err := tip.DecodeFrom(data); err != nil {
+		n.drop(t, nd.ID, "malformed")
+		return
+	}
+	if dir != Sending {
+		if tip.Dst.Provider() == uint16(nd.ID) {
+			dir = Delivering
+		} else {
+			dir = Forwarding
+		}
+	}
+	// Middlebox chain.
+	for _, m := range nd.Middleboxes {
+		out, verdict := m.Process(nd.ID, dir, data)
+		if verdict == Drop {
+			nd.Counters.Inc("mbox_drop")
+			reason := "blocked:" + m.Name()
+			if m.Silent() {
+				reason = "lost"
+			}
+			n.drop(t, nd.ID, reason)
+			return
+		}
+		if out != nil {
+			data = out
+			// Transformations may rewrite headers; re-decode.
+			if err := tip.DecodeFrom(data); err != nil {
+				n.drop(t, nd.ID, "malformed-after:"+m.Name())
+				return
+			}
+			if tip.Dst.Provider() == uint16(nd.ID) {
+				dir = Delivering
+			} else if dir == Delivering {
+				dir = Forwarding
+			}
+		}
+	}
+	if dir == Delivering {
+		n.Delivered++
+		t.Delivered = true
+		t.DoneAt = n.Sched.Now()
+		t.record(n.Sched.Now(), nd.ID, "deliver", "")
+		nd.Counters.Inc("delivered")
+		if nd.Deliver != nil {
+			nd.Deliver(nd, t, data)
+		}
+		return
+	}
+	// Forwarding: TTL.
+	if dir == Forwarding {
+		ttl, err := packet.DecrementTTL(data)
+		if err != nil {
+			n.drop(t, nd.ID, "malformed")
+			return
+		}
+		if ttl == 0 {
+			n.drop(t, nd.ID, "ttl")
+			return
+		}
+		t.record(n.Sched.Now(), nd.ID, "forward", "")
+		nd.Counters.Inc("forwarded")
+	}
+	next, ok := nd.nextHop(&tip, data)
+	if !ok {
+		n.drop(t, nd.ID, "no-route")
+		return
+	}
+	if _, adjacent := n.Graph.LinkBetween(nd.ID, next); !adjacent {
+		n.drop(t, nd.ID, "bad-next-hop")
+		return
+	}
+	n.transmit(t, nd.ID, next, data)
+}
+
+// nextHop picks the egress neighbor, honoring source routes when the
+// node's policy allows it.
+func (nd *Node) nextHop(tip *packet.TIP, data []byte) (topology.NodeID, bool) {
+	if nd.HonorSourceRoutes {
+		if wp, ok := packet.PeekSourceRoute(data); ok {
+			allowed := true
+			if nd.RequirePaymentForSourceRoute && tip.Payment == nil {
+				allowed = false
+				nd.Counters.Inc("srcroute_unpaid")
+			}
+			if allowed {
+				if wp == packet.MakeAddr(uint16(nd.ID), 0) || wp.Provider() == uint16(nd.ID) {
+					// We are the current waypoint: advance to the next.
+					nxt, _, err := packet.AdvanceSourceRoute(data)
+					if err == nil {
+						if nxt != packet.AddrNone {
+							wp = nxt
+						} else {
+							wp = tip.Dst // route exhausted: head to destination
+						}
+					}
+				}
+				nd.Counters.Inc("srcroute_honored")
+				// Route toward the waypoint's provider. If the waypoint is
+				// a direct neighbor, use it.
+				target := topology.NodeID(wp.Provider())
+				if target == nd.ID {
+					target = topology.NodeID(tip.Dst.Provider())
+				}
+				if _, adj := nd.Net.Graph.LinkBetween(nd.ID, target); adj {
+					return target, true
+				}
+				if nd.Route != nil {
+					return nd.Route(packet.MakeAddr(uint16(target), 0), tip)
+				}
+				return 0, false
+			}
+		}
+	}
+	if nd.Route == nil {
+		return 0, false
+	}
+	return nd.Route(tip.Dst, tip)
+}
+
+// transmit models link serialization + propagation + queueing.
+func (n *Network) transmit(t *Trace, from, to topology.NodeID, data []byte) {
+	if n.LinkFailed(from, to) {
+		n.drop(t, from, "link-down")
+		return
+	}
+	link, _ := n.Graph.LinkBetween(from, to)
+	key := [2]topology.NodeID{from, to}
+	ls := n.links[key]
+	if ls == nil {
+		ls = &linkState{}
+		n.links[key] = ls
+	}
+	now := n.Sched.Now()
+	if ls.busyUntil < now {
+		ls.busyUntil = now
+	}
+	backlog := ls.busyUntil - now
+	if backlog > n.MaxQueue {
+		n.drop(t, from, "queue-overflow")
+		return
+	}
+	txTime := sim.Time(float64(len(data)) / n.LinkRate * float64(sim.Second))
+	ls.busyUntil += txTime
+	arrive := ls.busyUntil + link.Latency + n.HopProcessing
+	dst := n.Node(to)
+	n.Sched.At(arrive, func() {
+		dst.process(t, data, Forwarding, from)
+	})
+}
+
+// DeliveryRatio returns delivered / (delivered + dropped), or 0 when no
+// packets have terminated.
+func (n *Network) DeliveryRatio() float64 {
+	total := n.Delivered + n.Dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(n.Delivered) / float64(total)
+}

@@ -1,0 +1,84 @@
+package packet
+
+import "fmt"
+
+// Addr is a 32-bit TIP address. The top 16 bits are the provider number
+// and the low 16 bits the host number — addresses are provider-rooted by
+// construction, which is precisely the lock-in mechanism §V-A1 of the
+// paper analyzes: an address "reflects connectivity, not identity", and
+// changing providers means renumbering.
+type Addr uint32
+
+// MakeAddr builds an address from a provider number and host number.
+func MakeAddr(provider, host uint16) Addr {
+	return Addr(uint32(provider)<<16 | uint32(host))
+}
+
+// Provider returns the provider (prefix) portion of the address.
+func (a Addr) Provider() uint16 { return uint16(a >> 16) }
+
+// Host returns the host portion of the address.
+func (a Addr) Host() uint16 { return uint16(a & 0xffff) }
+
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d", a.Provider(), a.Host())
+}
+
+// Broadcast is the all-ones address.
+const Broadcast Addr = 0xffffffff
+
+// AddrNone is the zero address, meaning "unspecified".
+const AddrNone Addr = 0
+
+func putAddr(b []byte, a Addr) {
+	b[0] = byte(a >> 24)
+	b[1] = byte(a >> 16)
+	b[2] = byte(a >> 8)
+	b[3] = byte(a)
+}
+
+func getAddr(b []byte) Addr {
+	return Addr(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+}
+
+func putU16(b []byte, v uint16) {
+	b[0] = byte(v >> 8)
+	b[1] = byte(v)
+}
+
+func getU16(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v>>32))
+	putU32(b[4:], uint32(v))
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b))<<32 | uint64(getU32(b[4:]))
+}
+
+// Checksum computes the 16-bit ones'-complement internet checksum of b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}

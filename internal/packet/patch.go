@@ -1,0 +1,128 @@
+package packet
+
+import "fmt"
+
+// This file contains in-place header patching helpers used by forwarding
+// elements: they mutate one field of an already-serialized TIP header and
+// repair the checksum, avoiding a full decode/re-serialize on the fast
+// path.
+
+func tipHeaderLen(data []byte) (int, error) {
+	if len(data) < tipMinHeader {
+		return 0, ErrTruncated
+	}
+	hlen := int(data[0]&0x0f) * 8
+	if hlen < tipMinHeader || hlen > len(data) {
+		return 0, fmt.Errorf("%w: header length %d", ErrBadHeader, hlen)
+	}
+	return hlen, nil
+}
+
+func refreshChecksum(data []byte, hlen int) {
+	data[6], data[7] = 0, 0
+	ck := Checksum(data[:hlen])
+	putU16(data[6:], ck)
+}
+
+// DecrementTTL decrements the TTL of a serialized TIP packet in place and
+// repairs the checksum. It returns the new TTL; a return of 0 means the
+// packet must be dropped.
+func DecrementTTL(data []byte) (uint8, error) {
+	hlen, err := tipHeaderLen(data)
+	if err != nil {
+		return 0, err
+	}
+	if data[4] == 0 {
+		return 0, nil
+	}
+	data[4]--
+	refreshChecksum(data, hlen)
+	return data[4], nil
+}
+
+// AdvanceSourceRoute increments the source-route pointer of a serialized
+// TIP packet in place (repairing the checksum) and returns the next
+// waypoint after the advance, or AddrNone when the route is exhausted.
+// It returns ok=false when the packet carries no source route.
+func AdvanceSourceRoute(data []byte) (next Addr, ok bool, err error) {
+	hlen, err := tipHeaderLen(data)
+	if err != nil {
+		return AddrNone, false, err
+	}
+	opts := data[tipMinHeader:hlen]
+	for len(opts) > 0 {
+		kind := opts[0]
+		if kind == optEnd {
+			return AddrNone, false, nil
+		}
+		if kind == optNop {
+			opts = opts[1:]
+			continue
+		}
+		if len(opts) < 2 {
+			return AddrNone, false, fmt.Errorf("%w: truncated option", ErrBadHeader)
+		}
+		olen := int(opts[1])
+		if olen < 2 || olen > len(opts) {
+			return AddrNone, false, fmt.Errorf("%w: option length", ErrBadHeader)
+		}
+		if kind == optSourceRoute {
+			body := opts[2:olen]
+			if len(body) < 1 {
+				return AddrNone, false, fmt.Errorf("%w: source route", ErrBadHeader)
+			}
+			nhops := (len(body) - 1) / 4
+			ptr := int(body[0])
+			if ptr >= nhops {
+				return AddrNone, false, nil
+			}
+			body[0]++
+			refreshChecksum(data, hlen)
+			if ptr+1 >= nhops {
+				return AddrNone, true, nil
+			}
+			return getAddr(body[1+4*(ptr+1):]), true, nil
+		}
+		opts = opts[olen:]
+	}
+	return AddrNone, false, nil
+}
+
+// PeekSourceRoute returns the next unvisited waypoint of a serialized TIP
+// packet without modifying it, or ok=false if there is no (unexhausted)
+// source route.
+func PeekSourceRoute(data []byte) (next Addr, ok bool) {
+	hlen, err := tipHeaderLen(data)
+	if err != nil {
+		return AddrNone, false
+	}
+	opts := data[tipMinHeader:hlen]
+	for len(opts) > 0 {
+		kind := opts[0]
+		if kind == optEnd {
+			return AddrNone, false
+		}
+		if kind == optNop {
+			opts = opts[1:]
+			continue
+		}
+		if len(opts) < 2 {
+			return AddrNone, false
+		}
+		olen := int(opts[1])
+		if olen < 2 || olen > len(opts) {
+			return AddrNone, false
+		}
+		if kind == optSourceRoute {
+			body := opts[2:olen]
+			nhops := (len(body) - 1) / 4
+			ptr := int(body[0])
+			if ptr >= nhops {
+				return AddrNone, false
+			}
+			return getAddr(body[1+4*ptr:]), true
+		}
+		opts = opts[olen:]
+	}
+	return AddrNone, false
+}

@@ -1,0 +1,146 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func serializeSR(t *testing.T, ttl uint8, hops []Addr, ptr uint8) []byte {
+	t.Helper()
+	tip := &TIP{TTL: ttl, Proto: LayerTypeRaw, Src: MakeAddr(1, 1), Dst: MakeAddr(9, 9)}
+	if hops != nil {
+		tip.SourceRoute = &SourceRouteOption{Ptr: ptr, Hops: hops}
+	}
+	data, err := Serialize(tip, &Raw{Data: []byte("payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func decodeOK(t *testing.T, data []byte) *TIP {
+	t.Helper()
+	var tip TIP
+	if err := tip.DecodeFrom(data); err != nil {
+		t.Fatalf("decode after patch: %v", err)
+	}
+	return &tip
+}
+
+func TestDecrementTTLPreservesValidity(t *testing.T) {
+	data := serializeSR(t, 5, nil, 0)
+	for want := uint8(4); want > 0; want-- {
+		ttl, err := DecrementTTL(data)
+		if err != nil || ttl != want {
+			t.Fatalf("DecrementTTL = %d, %v; want %d", ttl, err, want)
+		}
+		tip := decodeOK(t, data) // checksum must still verify
+		if tip.TTL != want {
+			t.Fatalf("decoded TTL = %d, want %d", tip.TTL, want)
+		}
+	}
+	// At TTL 0 further decrements report 0 without wrapping.
+	if ttl, err := DecrementTTL(data); err != nil || ttl != 0 {
+		t.Fatalf("TTL floor = %d, %v", ttl, err)
+	}
+	if ttl, err := DecrementTTL(data); err != nil || ttl != 0 {
+		t.Fatalf("TTL stays 0 = %d, %v", ttl, err)
+	}
+}
+
+func TestDecrementTTLErrors(t *testing.T) {
+	if _, err := DecrementTTL([]byte{1, 2}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestAdvanceSourceRouteWalk(t *testing.T) {
+	hops := []Addr{MakeAddr(3, 0), MakeAddr(5, 0), MakeAddr(7, 0)}
+	data := serializeSR(t, 9, hops, 0)
+
+	if next, ok := PeekSourceRoute(data); !ok || next != hops[0] {
+		t.Fatalf("peek 0 = %v, %v", next, ok)
+	}
+	next, ok, err := AdvanceSourceRoute(data)
+	if err != nil || !ok || next != hops[1] {
+		t.Fatalf("advance 1 = %v, %v, %v", next, ok, err)
+	}
+	decodeOK(t, data) // checksum repaired
+	next, ok, err = AdvanceSourceRoute(data)
+	if err != nil || !ok || next != hops[2] {
+		t.Fatalf("advance 2 = %v, %v, %v", next, ok, err)
+	}
+	// Last advance exhausts the route: ok with AddrNone.
+	next, ok, err = AdvanceSourceRoute(data)
+	if err != nil || !ok || next != AddrNone {
+		t.Fatalf("advance 3 = %v, %v, %v", next, ok, err)
+	}
+	// Exhausted: no more waypoints.
+	if _, ok := PeekSourceRoute(data); ok {
+		t.Fatal("peek on exhausted route succeeded")
+	}
+	if next, ok, err := AdvanceSourceRoute(data); err != nil || ok || next != AddrNone {
+		t.Fatalf("advance exhausted = %v, %v, %v", next, ok, err)
+	}
+	// The decoded option agrees.
+	tip := decodeOK(t, data)
+	if tip.SourceRoute == nil || !tip.SourceRoute.Exhausted() {
+		t.Fatalf("decoded route = %+v", tip.SourceRoute)
+	}
+}
+
+func TestAdvanceSourceRouteAbsent(t *testing.T) {
+	data := serializeSR(t, 9, nil, 0)
+	if next, ok, err := AdvanceSourceRoute(data); err != nil || ok || next != AddrNone {
+		t.Fatalf("no-option advance = %v, %v, %v", next, ok, err)
+	}
+	if _, ok := PeekSourceRoute(data); ok {
+		t.Fatal("peek without option succeeded")
+	}
+}
+
+func TestPatchFunctionsNeverPanicQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		_, _ = DecrementTTL(cp)
+		_, _, _ = AdvanceSourceRoute(cp)
+		_, _ = PeekSourceRoute(cp)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatchedPacketAlwaysReverifiesQuick(t *testing.T) {
+	f := func(ttl uint8, nHopsRaw uint8, advances uint8) bool {
+		if ttl == 0 {
+			ttl = 1
+		}
+		nHops := int(nHopsRaw%5) + 1
+		hops := make([]Addr, nHops)
+		for i := range hops {
+			hops[i] = MakeAddr(uint16(i+2), 0)
+		}
+		tip := &TIP{TTL: ttl, Proto: LayerTypeRaw, Src: 1, Dst: 2,
+			SourceRoute: &SourceRouteOption{Hops: hops}}
+		data, err := Serialize(tip, &Raw{Data: []byte("x")})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(advances%8); i++ {
+			if _, _, err := AdvanceSourceRoute(data); err != nil {
+				return false
+			}
+			if _, err := DecrementTTL(data); err != nil {
+				return false
+			}
+		}
+		var check TIP
+		return check.DecodeFrom(data) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package policy
+
+import "testing"
+
+func BenchmarkParseDocument(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(aup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	doc, err := Parse(aup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := Env{
+		"port": Num(8080), "direction": Str("inbound"),
+		"role": Str("consumer"), "tos": Num(2),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d, _ := Evaluate(doc, env); d.Rule == "" && !d.Default {
+			b.Fatal("no decision")
+		}
+	}
+}
+
+func BenchmarkParseExpr(b *testing.B) {
+	const src = `port in [80, 443] && role != "guest" || tos >= 4`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseExpr(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Env supplies attribute values during evaluation.
+type Env map[string]Value
+
+// EvalError reports a runtime evaluation failure (unknown attribute, type
+// mismatch).
+type EvalError struct{ Msg string }
+
+func (e *EvalError) Error() string { return "policy: eval: " + e.Msg }
+
+func evalErrf(format string, args ...interface{}) error {
+	return &EvalError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Eval computes the value of an expression under env.
+func Eval(e Expr, env Env) (Value, error) {
+	switch n := e.(type) {
+	case *LitExpr:
+		return n.V, nil
+	case *RefExpr:
+		v, ok := env[n.Name]
+		if !ok {
+			return Value{}, evalErrf("unknown attribute %q", n.Name)
+		}
+		return v, nil
+	case *ListExpr:
+		out := make([]Value, len(n.Elems))
+		for i, el := range n.Elems {
+			v, err := Eval(el, env)
+			if err != nil {
+				return Value{}, err
+			}
+			out[i] = v
+		}
+		return List(out...), nil
+	case *UnaryExpr:
+		v, err := Eval(n.X, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Kind != KindBool {
+			return Value{}, evalErrf("! applied to %v", v)
+		}
+		return Bool(!v.B), nil
+	case *BinExpr:
+		return evalBin(n, env)
+	}
+	return Value{}, evalErrf("unknown expression node %T", e)
+}
+
+func evalBin(n *BinExpr, env Env) (Value, error) {
+	// Short-circuit logic first.
+	if n.Op == "&&" || n.Op == "||" {
+		l, err := Eval(n.L, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.Kind != KindBool {
+			return Value{}, evalErrf("%s applied to %v", n.Op, l)
+		}
+		if n.Op == "&&" && !l.B {
+			return Bool(false), nil
+		}
+		if n.Op == "||" && l.B {
+			return Bool(true), nil
+		}
+		r, err := Eval(n.R, env)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Kind != KindBool {
+			return Value{}, evalErrf("%s applied to %v", n.Op, r)
+		}
+		return Bool(r.B), nil
+	}
+	l, err := Eval(n.L, env)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := Eval(n.R, env)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.Op {
+	case "==":
+		return Bool(l.Equal(r)), nil
+	case "!=":
+		return Bool(!l.Equal(r)), nil
+	case "in":
+		if r.Kind != KindList {
+			return Value{}, evalErrf("'in' needs a list on the right, got %v", r)
+		}
+		for _, el := range r.L {
+			if l.Equal(el) {
+				return Bool(true), nil
+			}
+		}
+		return Bool(false), nil
+	case "<", ">", "<=", ">=":
+		if l.Kind == KindNumber && r.Kind == KindNumber {
+			switch n.Op {
+			case "<":
+				return Bool(l.N < r.N), nil
+			case ">":
+				return Bool(l.N > r.N), nil
+			case "<=":
+				return Bool(l.N <= r.N), nil
+			default:
+				return Bool(l.N >= r.N), nil
+			}
+		}
+		if l.Kind == KindString && r.Kind == KindString {
+			switch n.Op {
+			case "<":
+				return Bool(l.S < r.S), nil
+			case ">":
+				return Bool(l.S > r.S), nil
+			case "<=":
+				return Bool(l.S <= r.S), nil
+			default:
+				return Bool(l.S >= r.S), nil
+			}
+		}
+		return Value{}, evalErrf("%s applied to %v and %v", n.Op, l, r)
+	}
+	return Value{}, evalErrf("unknown operator %q", n.Op)
+}
+
+// Decision is the outcome of evaluating a document against an
+// environment.
+type Decision struct {
+	Action Action
+	// Rule names the deciding rule; empty for the default.
+	Rule string
+	// Default reports whether the default applied.
+	Default bool
+}
+
+// Permitted is a convenience: true for Permit and Price outcomes.
+func (d Decision) Permitted() bool {
+	return d.Action.Kind == Permit || d.Action.Kind == Price
+}
+
+// Evaluate runs a document: rules in order, first match decides; the
+// default (or Deny) otherwise. A rule whose condition errors is skipped —
+// policies must fail safe, not crash the enforcement point — and the
+// error is reported alongside.
+func Evaluate(doc *Document, env Env) (Decision, []error) {
+	var errs []error
+	for _, r := range doc.Rules {
+		v, err := Eval(r.When, env)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("rule %q: %w", r.Name, err))
+			continue
+		}
+		if v.Kind != KindBool {
+			errs = append(errs, fmt.Errorf("rule %q: condition is %v, not bool", r.Name, v))
+			continue
+		}
+		if v.B {
+			return Decision{Action: r.Then, Rule: r.Name}, errs
+		}
+	}
+	if doc.HasDefault {
+		return Decision{Action: *doc.Default, Default: true}, errs
+	}
+	return Decision{
+		Action:  Action{Kind: Deny, Reason: "no matching rule"},
+		Default: true,
+	}, errs
+}
+
+// Analyze checks a document against a vocabulary (the ontology the
+// enforcement point understands) and returns the attributes the document
+// references that fall outside it. A non-empty result is the §II-B
+// failure mode made concrete: the language cannot capture this tussle.
+func Analyze(doc *Document, vocab []string) []string {
+	known := make(map[string]bool, len(vocab))
+	for _, v := range vocab {
+		known[v] = true
+	}
+	var out []string
+	for _, a := range doc.Attributes() {
+		if !known[a] {
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

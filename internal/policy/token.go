@@ -1,0 +1,169 @@
+// Package policy implements TPL, the tussle policy language: a small,
+// safe expression-and-rule language in the tradition of KeyNote and the
+// COPS policy objects the paper cites in §II-B. Parties use it to express
+// constraints and requirements — firewall admission, acceptable-use
+// rules, pricing tiers, routing preferences — and, exactly as the paper
+// observes, the language's vocabulary bounds what tussle can be
+// expressed: the Analyze function surfaces references outside a declared
+// ontology.
+//
+// A policy document looks like:
+//
+//	policy "broadband-aup" {
+//	    principal isp
+//	    applies-to traffic
+//	    rule web { when port == 80 || port == 443 then permit }
+//	    rule no-servers {
+//	        when direction == "inbound" && role != "business"
+//	        then deny "servers require the business tier"
+//	    }
+//	    rule premium { when tos >= 4 then price 5.0 }
+//	    default permit
+//	}
+//
+// Rules are evaluated in order; the first whose condition holds decides.
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokPunct // one of ( ) { } [ ] ,
+	tokOp    // == != <= >= < > && || ! in
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset, for errors
+	line int
+}
+
+// lexError describes a tokenization failure with position.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("policy: line %d: %s", e.line, e.msg)
+}
+
+// lex tokenizes src. Comments run from '#' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			start := i + 1
+			j := start
+			var sb strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+					switch src[j] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '"':
+						sb.WriteByte('"')
+					case '\\':
+						sb.WriteByte('\\')
+					default:
+						return nil, &lexError{line, fmt.Sprintf("unknown escape \\%c", src[j])}
+					}
+					j++
+					continue
+				}
+				if src[j] == '\n' {
+					return nil, &lexError{line, "newline in string literal"}
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, &lexError{line, "unterminated string literal"}
+			}
+			toks = append(toks, token{tokString, sb.String(), start, line})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9'):
+			j := i + 1
+			seenDot := false
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || (src[j] == '.' && !seenDot)) {
+				if src[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i, line})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			if word == "in" {
+				toks = append(toks, token{tokOp, word, i, line})
+			} else {
+				toks = append(toks, token{tokIdent, word, i, line})
+			}
+			i = j
+		case strings.ContainsRune("(){}[],", rune(c)):
+			toks = append(toks, token{tokPunct, string(c), i, line})
+			i++
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, src[i : i+2], i, line})
+				i += 2
+			} else if c == '=' {
+				return nil, &lexError{line, "single '=' (use '==')"}
+			} else {
+				toks = append(toks, token{tokOp, string(c), i, line})
+				i++
+			}
+		case c == '&' || c == '|':
+			if i+1 < len(src) && src[i+1] == c {
+				toks = append(toks, token{tokOp, src[i : i+2], i, line})
+				i += 2
+			} else {
+				return nil, &lexError{line, fmt.Sprintf("single '%c'", c)}
+			}
+		default:
+			return nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src), line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
+}

@@ -1,0 +1,70 @@
+package qos
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Ablation: the cost of each scheduling discipline at the same load.
+func benchDiscipline(b *testing.B, disc Discipline) {
+	rng := sim.NewRNG(1)
+	type arrival struct {
+		class  Class
+		bytes  int
+		arrive sim.Time
+	}
+	arrivals := make([]arrival, 2000)
+	for i := range arrivals {
+		arrivals[i] = arrival{
+			class:  Class(rng.Intn(NumClasses)),
+			bytes:  rng.Intn(1500) + 64,
+			arrive: sim.Time(rng.Intn(1000)) * sim.Millisecond,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := NewLinkSim(1e6, disc)
+		l.Weights = [NumClasses]float64{1, 2, 3, 4}
+		for _, a := range arrivals {
+			l.Add(a.class, a.bytes, a.arrive)
+		}
+		l.Run()
+	}
+}
+
+func BenchmarkSchedulerFIFO(b *testing.B)     { benchDiscipline(b, FIFO) }
+func BenchmarkSchedulerPriority(b *testing.B) { benchDiscipline(b, StrictPriority) }
+func BenchmarkSchedulerWFQ(b *testing.B)      { benchDiscipline(b, WFQ) }
+
+func BenchmarkClassifierExplicit(b *testing.B) {
+	data := mkToSBench(b, ToSFor(Gold), 5060)
+	var c ExplicitClassifier
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Classify(data)
+	}
+}
+
+func BenchmarkClassifierPort(b *testing.B) {
+	data := mkToSBench(b, 0, 5060)
+	c := &PortClassifier{PortClass: map[uint16]Class{5060: Gold}, Default: BestEffort}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Classify(data)
+	}
+}
+
+func mkToSBench(b *testing.B, tos uint8, port uint16) []byte {
+	b.Helper()
+	data, err := packet.Serialize(
+		&packet.TIP{TTL: 8, TOS: tos, Proto: packet.LayerTypeTTP, Src: 1, Dst: 2},
+		&packet.TTP{DstPort: port, Next: packet.LayerTypeRaw},
+		&packet.Raw{Data: []byte("x")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}

@@ -1,0 +1,321 @@
+// Package qos implements the differentiated-services plane of the
+// simulated internetwork: service classes, two classifier designs, and
+// link schedulers (FIFO, strict priority, weighted fair queueing).
+//
+// The two classifiers embody the §IV-A design comparison. The explicit
+// classifier reads the TIP type-of-service bits — the tussle-isolated
+// design, where "what service is desired" is disentangled from "what
+// application is running". The port-inference classifier guesses the
+// class from well-known transport ports — the entangled design that
+// creates "demands that encryption be avoided simply to leave well-known
+// port information visible".
+package qos
+
+import (
+	"sort"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Class is a differentiated service class; higher is better treatment.
+type Class uint8
+
+// Service classes.
+const (
+	BestEffort Class = 0
+	Bronze     Class = 1
+	Silver     Class = 2
+	Gold       Class = 3
+)
+
+func (c Class) String() string {
+	switch c {
+	case BestEffort:
+		return "best-effort"
+	case Bronze:
+		return "bronze"
+	case Silver:
+		return "silver"
+	default:
+		return "gold"
+	}
+}
+
+// NumClasses is the number of service classes.
+const NumClasses = 4
+
+// ToSFor encodes a class into TIP type-of-service bits.
+func ToSFor(c Class) uint8 { return uint8(c) }
+
+// ClassOfToS decodes the service class from ToS bits.
+func ClassOfToS(tos uint8) Class {
+	c := Class(tos & 0x03)
+	return c
+}
+
+// Classifier assigns a service class to a serialized packet.
+type Classifier interface {
+	Classify(data []byte) Class
+	// Opaque reports whether the last classification fell back to a
+	// default because the classifier could not see what it needed.
+	Opaque() bool
+}
+
+// ExplicitClassifier reads the ToS bits: the user's declared choice,
+// visible regardless of encryption or tunneling.
+type ExplicitClassifier struct{ opaque bool }
+
+// Classify implements Classifier.
+func (e *ExplicitClassifier) Classify(data []byte) Class {
+	var tip packet.TIP
+	if err := tip.DecodeFrom(data); err != nil {
+		e.opaque = true
+		return BestEffort
+	}
+	e.opaque = false
+	return ClassOfToS(tip.TOS)
+}
+
+// Opaque implements Classifier.
+func (e *ExplicitClassifier) Opaque() bool { return e.opaque }
+
+// PortClassifier infers the class from the destination port — the
+// entangled design. Encrypted or tunneled transport defeats it.
+type PortClassifier struct {
+	// PortClass maps well-known ports to classes.
+	PortClass map[uint16]Class
+	// Default applies when the port is unknown or invisible.
+	Default Class
+
+	opaque bool
+}
+
+// Classify implements Classifier.
+func (p *PortClassifier) Classify(data []byte) Class {
+	p.opaque = false
+	var tip packet.TIP
+	if err := tip.DecodeFrom(data); err != nil {
+		p.opaque = true
+		return p.Default
+	}
+	if tip.Proto != packet.LayerTypeTTP {
+		// Crypto or tunnel at the network layer: ports invisible.
+		p.opaque = true
+		return p.Default
+	}
+	var ttp packet.TTP
+	if err := ttp.DecodeFrom(tip.LayerPayload()); err != nil {
+		p.opaque = true
+		return p.Default
+	}
+	if c, ok := p.PortClass[ttp.DstPort]; ok {
+		return c
+	}
+	return p.Default
+}
+
+// Opaque implements Classifier.
+func (p *PortClassifier) Opaque() bool { return p.opaque }
+
+// Job is one packet offered to a link scheduler.
+type Job struct {
+	Class  Class
+	Bytes  int
+	Arrive sim.Time
+	// Depart is filled by Run.
+	Depart sim.Time
+	// seq preserves arrival order for FIFO tie-breaks.
+	seq int
+}
+
+// Delay returns the queueing+transmission delay the job experienced.
+func (j *Job) Delay() sim.Time { return j.Depart - j.Arrive }
+
+// Discipline selects the scheduling algorithm.
+type Discipline uint8
+
+// Scheduling disciplines.
+const (
+	// FIFO serves in arrival order regardless of class.
+	FIFO Discipline = iota
+	// StrictPriority always serves the highest non-empty class.
+	StrictPriority
+	// WFQ shares capacity in proportion to per-class weights.
+	WFQ
+)
+
+// LinkSim is an offline single-server link scheduler simulation: add all
+// arrivals, call Run, read per-job departure times.
+type LinkSim struct {
+	// Capacity is the service rate in bytes/second.
+	Capacity float64
+	// Weights are per-class WFQ weights (ignored by other disciplines);
+	// zero entries default to 1.
+	Weights [NumClasses]float64
+	Disc    Discipline
+
+	jobs []*Job
+}
+
+// NewLinkSim creates a scheduler simulation.
+func NewLinkSim(capacity float64, disc Discipline) *LinkSim {
+	return &LinkSim{Capacity: capacity, Disc: disc}
+}
+
+// Add offers a job to the link and returns it (Depart is set by Run).
+func (l *LinkSim) Add(class Class, bytes int, arrive sim.Time) *Job {
+	j := &Job{Class: class, Bytes: bytes, Arrive: arrive, seq: len(l.jobs)}
+	l.jobs = append(l.jobs, j)
+	return j
+}
+
+// Run computes departure times for all offered jobs.
+func (l *LinkSim) Run() {
+	switch l.Disc {
+	case FIFO:
+		l.runFIFO()
+	case StrictPriority:
+		l.runPriority()
+	case WFQ:
+		l.runWFQ()
+	}
+}
+
+func (l *LinkSim) tx(bytes int) sim.Time {
+	return sim.Time(float64(bytes) / l.Capacity * float64(sim.Second))
+}
+
+func (l *LinkSim) sortedByArrival() []*Job {
+	js := make([]*Job, len(l.jobs))
+	copy(js, l.jobs)
+	sort.SliceStable(js, func(i, j int) bool { return js[i].Arrive < js[j].Arrive })
+	return js
+}
+
+func (l *LinkSim) runFIFO() {
+	var busy sim.Time
+	for _, j := range l.sortedByArrival() {
+		start := j.Arrive
+		if busy > start {
+			start = busy
+		}
+		j.Depart = start + l.tx(j.Bytes)
+		busy = j.Depart
+	}
+}
+
+func (l *LinkSim) runPriority() {
+	js := l.sortedByArrival()
+	pending := make([][]*Job, NumClasses)
+	var busy sim.Time
+	i := 0
+	remaining := len(js)
+	for remaining > 0 {
+		// Admit arrivals up to the server-free time.
+		for i < len(js) && js[i].Arrive <= busy {
+			pending[js[i].Class] = append(pending[js[i].Class], js[i])
+			i++
+		}
+		// Pick the highest non-empty class.
+		var pick *Job
+		for c := NumClasses - 1; c >= 0; c-- {
+			if len(pending[c]) > 0 {
+				pick = pending[c][0]
+				pending[c] = pending[c][1:]
+				break
+			}
+		}
+		if pick == nil {
+			// Idle: jump to the next arrival.
+			busy = js[i].Arrive
+			continue
+		}
+		start := pick.Arrive
+		if busy > start {
+			start = busy
+		}
+		pick.Depart = start + l.tx(pick.Bytes)
+		busy = pick.Depart
+		remaining--
+	}
+}
+
+// runWFQ implements weighted fair queueing via virtual finish times
+// (the standard packetized GPS approximation with a simplified virtual
+// clock equal to real time).
+func (l *LinkSim) runWFQ() {
+	js := l.sortedByArrival()
+	var lastFinish [NumClasses]float64
+	type entry struct {
+		j      *Job
+		finish float64
+	}
+	entries := make([]entry, 0, len(js))
+	for _, j := range js {
+		w := l.Weights[j.Class]
+		if w <= 0 {
+			w = 1
+		}
+		start := j.Arrive.Seconds()
+		if lastFinish[j.Class] > start {
+			start = lastFinish[j.Class]
+		}
+		finish := start + float64(j.Bytes)/(l.Capacity*w)
+		lastFinish[j.Class] = finish
+		entries = append(entries, entry{j, finish})
+	}
+	// Serve in virtual-finish order, but never before arrival.
+	sort.SliceStable(entries, func(a, b int) bool { return entries[a].finish < entries[b].finish })
+	var busy sim.Time
+	served := make([]bool, len(entries))
+	for count := 0; count < len(entries); {
+		idx := -1
+		for k, e := range entries {
+			if served[k] {
+				continue
+			}
+			if e.j.Arrive <= busy {
+				idx = k
+				break
+			}
+		}
+		if idx == -1 {
+			// Idle: advance to the earliest unserved arrival.
+			var earliest sim.Time = 1<<62 - 1
+			for k, e := range entries {
+				if !served[k] && e.j.Arrive < earliest {
+					earliest = e.j.Arrive
+				}
+			}
+			busy = earliest
+			continue
+		}
+		j := entries[idx].j
+		start := j.Arrive
+		if busy > start {
+			start = busy
+		}
+		j.Depart = start + l.tx(j.Bytes)
+		busy = j.Depart
+		served[idx] = true
+		count++
+	}
+}
+
+// MeanDelayByClass summarizes the run.
+func (l *LinkSim) MeanDelayByClass() [NumClasses]sim.Time {
+	var sums [NumClasses]sim.Time
+	var counts [NumClasses]int
+	for _, j := range l.jobs {
+		sums[j.Class] += j.Delay()
+		counts[j.Class]++
+	}
+	var out [NumClasses]sim.Time
+	for c := range out {
+		if counts[c] > 0 {
+			out[c] = sums[c] / sim.Time(counts[c])
+		}
+	}
+	return out
+}

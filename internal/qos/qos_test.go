@@ -1,0 +1,254 @@
+package qos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func mkToS(t *testing.T, tos uint8, port uint16) []byte {
+	t.Helper()
+	data, err := packet.Serialize(
+		&packet.TIP{TTL: 8, TOS: tos, Proto: packet.LayerTypeTTP, Src: 1, Dst: 2},
+		&packet.TTP{DstPort: port, Next: packet.LayerTypeRaw},
+		&packet.Raw{Data: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestExplicitClassifier(t *testing.T) {
+	var c ExplicitClassifier
+	if got := c.Classify(mkToS(t, ToSFor(Gold), 9999)); got != Gold {
+		t.Fatalf("class = %v", got)
+	}
+	if c.Opaque() {
+		t.Fatal("explicit classifier should see ToS")
+	}
+	if got := c.Classify(mkToS(t, ToSFor(BestEffort), 80)); got != BestEffort {
+		t.Fatalf("class = %v", got)
+	}
+}
+
+func TestPortClassifier(t *testing.T) {
+	pc := &PortClassifier{PortClass: map[uint16]Class{5060: Gold, 80: Silver}, Default: BestEffort}
+	if got := pc.Classify(mkToS(t, 0, 5060)); got != Gold || pc.Opaque() {
+		t.Fatalf("class = %v opaque=%v", got, pc.Opaque())
+	}
+	if got := pc.Classify(mkToS(t, 0, 2222)); got != BestEffort {
+		t.Fatalf("unknown port class = %v", got)
+	}
+}
+
+func TestPortClassifierDefeatedByTunnel(t *testing.T) {
+	pc := &PortClassifier{PortClass: map[uint16]Class{5060: Gold}, Default: BestEffort}
+	// VoIP tunneled at the network layer: ports invisible, class lost.
+	inner := mkToS(t, 0, 5060)
+	data, err := packet.Serialize(
+		&packet.TIP{TTL: 8, Proto: packet.LayerTypeTunnel, Src: 1, Dst: 2},
+		&packet.Tunnel{Inner: packet.LayerTypeTIP},
+		&packet.Raw{Data: inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pc.Classify(data); got != BestEffort || !pc.Opaque() {
+		t.Fatalf("tunneled class = %v opaque=%v", got, pc.Opaque())
+	}
+	// The explicit classifier still sees the outer ToS bits.
+	var ec ExplicitClassifier
+	dataToS, err := packet.Serialize(
+		&packet.TIP{TTL: 8, TOS: ToSFor(Gold), Proto: packet.LayerTypeTunnel, Src: 1, Dst: 2},
+		&packet.Tunnel{Inner: packet.LayerTypeTIP},
+		&packet.Raw{Data: inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ec.Classify(dataToS); got != Gold {
+		t.Fatalf("explicit class through tunnel = %v", got)
+	}
+}
+
+func TestClassToSRoundTrip(t *testing.T) {
+	f := func(c uint8) bool {
+		class := Class(c % NumClasses)
+		return ClassOfToS(ToSFor(class)) == class
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOIgnoresClass(t *testing.T) {
+	l := NewLinkSim(1000, FIFO) // 1000 B/s
+	low := l.Add(BestEffort, 1000, 0)
+	high := l.Add(Gold, 1000, 1) // arrives just after
+	l.Run()
+	if high.Depart <= low.Depart {
+		t.Fatal("FIFO should serve in arrival order")
+	}
+}
+
+func TestStrictPriorityFavorsGold(t *testing.T) {
+	l := NewLinkSim(1000, StrictPriority)
+	// Occupy the server, then queue one of each.
+	l.Add(BestEffort, 1000, 0) // served 0..1s
+	be := l.Add(BestEffort, 1000, sim.Millisecond)
+	gold := l.Add(Gold, 1000, 2*sim.Millisecond)
+	l.Run()
+	if gold.Depart >= be.Depart {
+		t.Fatalf("gold departs %v after best-effort %v", gold.Depart, be.Depart)
+	}
+}
+
+func TestStrictPriorityNoPreemption(t *testing.T) {
+	l := NewLinkSim(1000, StrictPriority)
+	first := l.Add(BestEffort, 1000, 0)
+	gold := l.Add(Gold, 100, sim.Millisecond)
+	l.Run()
+	// Gold cannot preempt the in-service packet.
+	if gold.Depart < first.Depart {
+		t.Fatalf("gold preempted: %v < %v", gold.Depart, first.Depart)
+	}
+}
+
+func TestPriorityWorkConserving(t *testing.T) {
+	// Total busy time equals total service demand when there are no
+	// idle gaps.
+	l := NewLinkSim(1000, StrictPriority)
+	for i := 0; i < 10; i++ {
+		l.Add(Class(i%NumClasses), 500, 0)
+	}
+	l.Run()
+	var last sim.Time
+	for _, j := range l.jobs {
+		if j.Depart > last {
+			last = j.Depart
+		}
+	}
+	want := sim.Time(10 * 500 * int64(sim.Second) / 1000)
+	if last != want {
+		t.Fatalf("makespan = %v, want %v", last, want)
+	}
+}
+
+func TestPriorityIdleJump(t *testing.T) {
+	l := NewLinkSim(1000, StrictPriority)
+	a := l.Add(Gold, 100, 0)
+	b := l.Add(BestEffort, 100, 10*sim.Second) // long idle gap
+	l.Run()
+	if a.Depart >= sim.Second || b.Depart < 10*sim.Second {
+		t.Fatalf("idle handling wrong: %v %v", a.Depart, b.Depart)
+	}
+}
+
+func TestWFQSharesByWeight(t *testing.T) {
+	l := NewLinkSim(1000, WFQ)
+	l.Weights = [NumClasses]float64{1, 0, 0, 3} // gold gets 3x share
+	// Saturate with alternating arrivals at t=0.
+	var goldDelay, beDelay sim.Time
+	var goldN, beN int
+	for i := 0; i < 40; i++ {
+		l.Add(BestEffort, 500, 0)
+		l.Add(Gold, 500, 0)
+	}
+	l.Run()
+	for _, j := range l.jobs {
+		if j.Class == Gold {
+			goldDelay += j.Delay()
+			goldN++
+		} else {
+			beDelay += j.Delay()
+			beN++
+		}
+	}
+	if goldDelay/sim.Time(goldN) >= beDelay/sim.Time(beN) {
+		t.Fatalf("gold mean delay %v not better than best-effort %v",
+			goldDelay/sim.Time(goldN), beDelay/sim.Time(beN))
+	}
+}
+
+func TestWFQAvoidsStarvation(t *testing.T) {
+	// Unlike strict priority, WFQ must still serve the low class at a
+	// proportional rate while high-class load persists.
+	mk := func(d Discipline) sim.Time {
+		l := NewLinkSim(1000, d)
+		l.Weights = [NumClasses]float64{1, 1, 1, 1}
+		low := l.Add(BestEffort, 500, 0)
+		for i := 0; i < 20; i++ {
+			l.Add(Gold, 500, 0)
+		}
+		l.Run()
+		return low.Depart
+	}
+	wfq := mk(WFQ)
+	prio := mk(StrictPriority)
+	if wfq >= prio {
+		t.Fatalf("WFQ low-class departure %v not earlier than priority %v", wfq, prio)
+	}
+}
+
+func TestMeanDelayByClass(t *testing.T) {
+	l := NewLinkSim(1000, StrictPriority)
+	l.Add(BestEffort, 1000, 0)
+	l.Add(BestEffort, 1000, 0)
+	l.Add(Gold, 1000, 0)
+	l.Run()
+	delays := l.MeanDelayByClass()
+	if delays[Gold] >= delays[BestEffort] {
+		t.Fatalf("gold %v >= best-effort %v", delays[Gold], delays[BestEffort])
+	}
+	if delays[Silver] != 0 {
+		t.Fatal("empty class should report zero")
+	}
+}
+
+func TestSchedulersServeEveryJobQuick(t *testing.T) {
+	f := func(seed uint64, discRaw uint8) bool {
+		rng := sim.NewRNG(seed)
+		disc := Discipline(discRaw % 3)
+		l := NewLinkSim(1e4, disc)
+		n := rng.Intn(30) + 1
+		for i := 0; i < n; i++ {
+			l.Add(Class(rng.Intn(NumClasses)), rng.Intn(2000)+1, sim.Time(rng.Intn(1000))*sim.Millisecond)
+		}
+		l.Run()
+		for _, j := range l.jobs {
+			if j.Depart <= j.Arrive {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoOverlappingService(t *testing.T) {
+	// Single server: service intervals must not overlap.
+	f := func(seed uint64, discRaw uint8) bool {
+		rng := sim.NewRNG(seed)
+		disc := Discipline(discRaw % 3)
+		l := NewLinkSim(1e4, disc)
+		for i := 0; i < 20; i++ {
+			l.Add(Class(rng.Intn(NumClasses)), rng.Intn(2000)+1, sim.Time(rng.Intn(100))*sim.Millisecond)
+		}
+		l.Run()
+		// Sum of service times must be <= makespan (no double service).
+		var total sim.Time
+		var last sim.Time
+		for _, j := range l.jobs {
+			total += l.tx(j.Bytes)
+			if j.Depart > last {
+				last = j.Depart
+			}
+		}
+		return total <= last+sim.Nanosecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package linkstate implements an OSPF-style link-state routing protocol
+// for the simulated internetwork: every node floods its link costs, every
+// node runs Dijkstra over the identical database, and — the property that
+// matters for the tussle analysis of §IV-C — every node's cost choices
+// are public. Contrast with the path-vector protocol in the sibling
+// package, which reveals only chosen paths.
+package linkstate
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// Database is the flooded link-state database: the complete, public view
+// of the network's links and costs.
+type Database struct {
+	g *topology.Graph
+	// Overrides lets a node advertise a different cost on a link
+	// (traffic engineering — a visible tussle move).
+	Overrides map[[2]topology.NodeID]float64
+}
+
+// NewDatabase builds a database over the topology.
+func NewDatabase(g *topology.Graph) *Database {
+	return &Database{g: g, Overrides: make(map[[2]topology.NodeID]float64)}
+}
+
+// SetCost overrides the advertised cost of the directed edge a→b.
+func (db *Database) SetCost(a, b topology.NodeID, cost float64) {
+	db.Overrides[[2]topology.NodeID{a, b}] = cost
+}
+
+// Cost returns the advertised cost of the directed edge a→b.
+func (db *Database) Cost(a, b topology.NodeID) (float64, bool) {
+	if c, ok := db.Overrides[[2]topology.NodeID{a, b}]; ok {
+		return c, true
+	}
+	l, ok := db.g.LinkBetween(a, b)
+	if !ok {
+		return 0, false
+	}
+	return l.Cost, true
+}
+
+// VisibleChoices reports every (edge, cost) pair any observer can read
+// from the database — the §IV-C "visibility of choices" audit surface.
+// The count equals twice the number of links (both directions).
+func (db *Database) VisibleChoices() int {
+	n := 0
+	for _, id := range db.g.NodeIDs() {
+		n += len(db.g.Neighbors(id))
+	}
+	return n
+}
+
+// item is a priority-queue entry for Dijkstra.
+type item struct {
+	node topology.NodeID
+	dist float64
+}
+
+type pq []item
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(item)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// SPF runs Dijkstra from src over the database and returns, for every
+// reachable destination, the next hop and total cost.
+func (db *Database) SPF(src topology.NodeID) (next map[topology.NodeID]topology.NodeID, dist map[topology.NodeID]float64) {
+	next = make(map[topology.NodeID]topology.NodeID)
+	dist = make(map[topology.NodeID]float64)
+	prev := make(map[topology.NodeID]topology.NodeID)
+	const inf = math.MaxFloat64
+	dist[src] = 0
+	q := pq{{src, 0}}
+	done := make(map[topology.NodeID]bool)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(item)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, nb := range db.g.Neighbors(it.node) {
+			c, ok := db.Cost(it.node, nb)
+			if !ok || c < 0 {
+				continue
+			}
+			nd := it.dist + c
+			cur, seen := dist[nb]
+			if !seen {
+				cur = inf
+			}
+			if nd < cur {
+				dist[nb] = nd
+				prev[nb] = it.node
+				heap.Push(&q, item{nb, nd})
+			}
+		}
+	}
+	for dst := range dist {
+		if dst == src {
+			continue
+		}
+		// Walk back to find the first hop.
+		hop := dst
+		for prev[hop] != src {
+			hop = prev[hop]
+		}
+		next[dst] = hop
+	}
+	return next, dist
+}
+
+// Table is a computed forwarding table for one node.
+type Table struct {
+	Src  topology.NodeID
+	Next map[topology.NodeID]topology.NodeID
+	Dist map[topology.NodeID]float64
+}
+
+// Compute builds forwarding tables for every node.
+func Compute(db *Database) map[topology.NodeID]*Table {
+	out := make(map[topology.NodeID]*Table)
+	for _, id := range db.g.NodeIDs() {
+		next, dist := db.SPF(id)
+		out[id] = &Table{Src: id, Next: next, Dist: dist}
+	}
+	return out
+}
+
+// RouteFunc adapts a table to the simulator's routing hook.
+func (t *Table) RouteFunc() func(dst packet.Addr, tip *packet.TIP) (topology.NodeID, bool) {
+	return func(dst packet.Addr, tip *packet.TIP) (topology.NodeID, bool) {
+		d := topology.NodeID(dst.Provider())
+		if d == t.Src {
+			return t.Src, true
+		}
+		nh, ok := t.Next[d]
+		return nh, ok
+	}
+}

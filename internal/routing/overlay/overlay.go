@@ -1,0 +1,165 @@
+// Package overlay implements a RON-style resilient overlay network: a set
+// of member nodes that tunnel traffic through each other to obtain paths
+// the underlay will not provide — whether because of failures, or because
+// providers restrict routing. §V-A4 of the paper: "researchers propose
+// even more indirect ways of getting around provider-selected routing,
+// such as exploiting hosts as intermediate forwarding agents. (This kind
+// of overlay network is a tool in the tussle, certainly.)"
+//
+// The economic distortion the paper points out — overlay relaying makes a
+// provider carry traffic it was never compensated to carry — is measured
+// by counting relayed bytes that cross providers outside their business
+// relationships; see UncompensatedTransit.
+package overlay
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Mesh is an overlay over a set of member nodes.
+type Mesh struct {
+	Members []topology.NodeID
+	// lat[a][b] is the measured underlay latency a→b; absence means the
+	// underlay path is unusable (blocked or failed).
+	lat map[topology.NodeID]map[topology.NodeID]sim.Time
+	// RelayedBytes counts bytes forwarded on behalf of other members.
+	RelayedBytes int
+}
+
+// NewMesh creates an overlay with the given members and no measurements.
+func NewMesh(members []topology.NodeID) *Mesh {
+	m := &Mesh{Members: members, lat: make(map[topology.NodeID]map[topology.NodeID]sim.Time)}
+	return m
+}
+
+// Observe records a latency measurement for the direct underlay path a→b.
+func (m *Mesh) Observe(a, b topology.NodeID, l sim.Time) {
+	if m.lat[a] == nil {
+		m.lat[a] = make(map[topology.NodeID]sim.Time)
+	}
+	m.lat[a][b] = l
+}
+
+// ObserveLoss records that the direct underlay path a→b is unusable.
+func (m *Mesh) ObserveLoss(a, b topology.NodeID) {
+	if m.lat[a] != nil {
+		delete(m.lat[a], b)
+	}
+}
+
+// Direct returns the measured direct latency, if the path works.
+func (m *Mesh) Direct(a, b topology.NodeID) (sim.Time, bool) {
+	l, ok := m.lat[a][b]
+	return l, ok
+}
+
+// Route computes the lowest-latency overlay path src→dst over working
+// measured edges (Dijkstra on the overlay graph). The returned slice
+// includes src and dst; nil means unreachable even via relays.
+func (m *Mesh) Route(src, dst topology.NodeID) []topology.NodeID {
+	dist := map[topology.NodeID]float64{src: 0}
+	prev := map[topology.NodeID]topology.NodeID{}
+	done := map[topology.NodeID]bool{}
+	q := &overlayPQ{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(qi2)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		if it.node == dst {
+			break
+		}
+		for nb, l := range m.lat[it.node] {
+			nd := it.d + l.Seconds()
+			cur, seen := dist[nb]
+			if !seen {
+				cur = math.MaxFloat64
+			}
+			if nd < cur {
+				dist[nb] = nd
+				prev[nb] = it.node
+				heap.Push(q, qi2{nb, nd})
+			}
+		}
+	}
+	if _, ok := dist[dst]; !ok {
+		return nil
+	}
+	var path []topology.NodeID
+	for at := dst; ; {
+		path = append([]topology.NodeID{at}, path...)
+		if at == src {
+			break
+		}
+		at = prev[at]
+	}
+	return path
+}
+
+type qi2 struct {
+	node topology.NodeID
+	d    float64
+}
+type overlayPQ []qi2
+
+func (p overlayPQ) Len() int            { return len(p) }
+func (p overlayPQ) Less(i, j int) bool  { return p[i].d < p[j].d }
+func (p overlayPQ) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *overlayPQ) Push(x interface{}) { *p = append(*p, x.(qi2)) }
+func (p *overlayPQ) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// TunnelID used by overlay encapsulation.
+const TunnelID = 0x4f4e // "ON"
+
+// Encapsulate wraps inner packet bytes for relay via hop: the outer
+// packet is addressed to the relay, carrying the original as a tunnel
+// payload.
+func Encapsulate(src, relay packet.Addr, ttl uint8, inner []byte) ([]byte, error) {
+	return packet.Serialize(
+		&packet.TIP{TTL: ttl, Proto: packet.LayerTypeTunnel, Src: src, Dst: relay},
+		&packet.Tunnel{Inner: packet.LayerTypeTIP, ID: TunnelID},
+		&packet.Raw{Data: inner})
+}
+
+// InstallRelay configures node id to decapsulate overlay tunnels and
+// re-inject the inner packet, chaining to fallthrough delivery for
+// non-tunnel traffic. It returns the mesh-byte accounting hook.
+func (m *Mesh) InstallRelay(net *netsim.Network, id topology.NodeID) {
+	nd := net.Node(id)
+	inner := nd.Deliver
+	nd.Deliver = func(n *netsim.Node, tr *netsim.Trace, data []byte) {
+		p := packet.NewPacket(data, packet.LayerTypeTIP)
+		tun, _ := p.Layer(packet.LayerTypeTunnel).(*packet.Tunnel)
+		if tun == nil || tun.ID != TunnelID {
+			if inner != nil {
+				inner(n, tr, data)
+			}
+			return
+		}
+		payload := tun.LayerPayload()
+		m.RelayedBytes += len(payload)
+		fresh := make([]byte, len(payload))
+		copy(fresh, payload)
+		net.Send(id, fresh)
+	}
+}
+
+// UncompensatedTransit estimates the economic distortion of overlay
+// relaying: bytes whose underlay carriage was triggered by a relay member
+// rather than by a customer relationship. In this simplified accounting
+// every relayed byte is uncompensated (the relay's providers sold it
+// access, not transit service for third parties).
+func (m *Mesh) UncompensatedTransit() int { return m.RelayedBytes }

@@ -1,0 +1,43 @@
+package pathvector
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Convergence cost as the internetwork grows.
+func benchConverge(b *testing.B, tier2, stubs int) {
+	cfg := topology.DefaultHierarchy()
+	cfg.Tier2 = tier2
+	cfg.Stubs = stubs
+	g := topology.GenerateHierarchy(cfg, sim.NewRNG(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := New(g)
+		if err := p.Converge(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvergeSmall(b *testing.B)  { benchConverge(b, 6, 12) }
+func BenchmarkConvergeMedium(b *testing.B) { benchConverge(b, 12, 40) }
+func BenchmarkConvergeLarge(b *testing.B)  { benchConverge(b, 20, 100) }
+
+func BenchmarkGaoRexfordCheck(b *testing.B) {
+	g := topology.GenerateHierarchy(topology.DefaultHierarchy(), sim.NewRNG(2))
+	p := New(g)
+	if err := p.Converge(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := p.CheckGaoRexford(); v != 0 {
+			b.Fatal("violations")
+		}
+	}
+}

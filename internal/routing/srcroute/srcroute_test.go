@@ -1,0 +1,153 @@
+package srcroute
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func diamond() *topology.Graph {
+	g := topology.NewGraph()
+	for i := 1; i <= 4; i++ {
+		g.AddNode(topology.NodeID(i), topology.Transit, 1)
+	}
+	g.AddLink(1, 2, topology.PeerOf, 2*sim.Millisecond, 1)
+	g.AddLink(2, 4, topology.PeerOf, 2*sim.Millisecond, 1)
+	g.AddLink(1, 3, topology.PeerOf, sim.Millisecond, 1)
+	g.AddLink(3, 4, topology.PeerOf, sim.Millisecond, 1)
+	return g
+}
+
+func TestDiscoverFindsBothPaths(t *testing.T) {
+	cands := Discover(diamond(), 1, 4, 0, 8)
+	if len(cands) != 2 {
+		t.Fatalf("found %d candidates, want 2", len(cands))
+	}
+	// Cheapest (via 3) first.
+	if cands[0].Path[1] != 3 || cands[0].Latency != 2*sim.Millisecond {
+		t.Fatalf("best candidate = %+v", cands[0])
+	}
+	if cands[1].Path[1] != 2 {
+		t.Fatalf("second candidate = %+v", cands[1])
+	}
+}
+
+func TestDiscoverRespectsK(t *testing.T) {
+	cands := Discover(diamond(), 1, 4, 1, 8)
+	if len(cands) != 1 {
+		t.Fatalf("k=1 returned %d", len(cands))
+	}
+}
+
+func TestDiscoverRespectsMaxLen(t *testing.T) {
+	g := topology.Linear(6, sim.Millisecond)
+	if cands := Discover(g, 1, 6, 0, 3); len(cands) != 0 {
+		t.Fatalf("maxLen=3 should preclude the 6-node path, got %v", cands)
+	}
+	if cands := Discover(g, 1, 6, 0, 6); len(cands) != 1 {
+		t.Fatalf("maxLen=6 should find the path, got %d", len(cands))
+	}
+}
+
+func TestDiscoverPathsAreSimpleAndValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := topology.GenerateHierarchy(topology.DefaultHierarchy(), sim.NewRNG(seed))
+		stubs := g.Stubs()
+		src, dst := stubs[0], stubs[len(stubs)-1]
+		for _, c := range Discover(g, src, dst, 5, 7) {
+			if c.Path[0] != src || c.Path[len(c.Path)-1] != dst {
+				return false
+			}
+			seen := map[topology.NodeID]bool{}
+			for i, n := range c.Path {
+				if seen[n] {
+					return false
+				}
+				seen[n] = true
+				if i > 0 {
+					if _, adj := g.LinkBetween(c.Path[i-1], n); !adj {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionBuildsInteriorHops(t *testing.T) {
+	c := Candidate{Path: []topology.NodeID{1, 3, 4}}
+	opt := c.Option()
+	if opt == nil || len(opt.Hops) != 1 || opt.Hops[0] != packet.MakeAddr(3, 0) {
+		t.Fatalf("option = %+v", opt)
+	}
+	direct := Candidate{Path: []topology.NodeID{1, 4}}
+	if direct.Option() != nil {
+		t.Fatal("direct path should need no source route")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	c := Candidate{Path: []topology.NodeID{1, 3, 4}}
+	if !c.Verify([]topology.NodeID{1, 3, 4}) {
+		t.Fatal("exact path should verify")
+	}
+	if !c.Verify([]topology.NodeID{1, 2, 3, 2, 4}) {
+		t.Fatal("loose route with extra hops should verify")
+	}
+	if c.Verify([]topology.NodeID{1, 2, 4}) {
+		t.Fatal("path skipping waypoint 3 must not verify")
+	}
+	if c.Verify([]topology.NodeID{1, 4, 3}) {
+		t.Fatal("out-of-order waypoints must not verify")
+	}
+}
+
+func TestWithPaymentAmounts(t *testing.T) {
+	key := []byte("payer key")
+	tip := &packet.TIP{Src: packet.MakeAddr(1, 1), Dst: packet.MakeAddr(4, 1)}
+	c := Candidate{Path: []topology.NodeID{1, 2, 3, 4}} // 2 interior hops
+	amount := WithPayment(tip, c, key, 42)
+	if amount != 2*PerHopPriceMilli {
+		t.Fatalf("amount = %d", amount)
+	}
+	if tip.Payment == nil || tip.Payment.AmountMilli != amount {
+		t.Fatalf("payment = %+v", tip.Payment)
+	}
+	if !VerifyVoucher(key, tip.Payment) {
+		t.Fatal("authentic voucher rejected")
+	}
+	if VerifyVoucher([]byte("other key"), tip.Payment) {
+		t.Fatal("forged voucher accepted")
+	}
+}
+
+func TestVoucherTamperingDetected(t *testing.T) {
+	f := func(amount, nonce uint32) bool {
+		key := []byte("k")
+		p := &packet.PaymentOption{
+			Payer: 1, Payee: 2, AmountMilli: amount, Nonce: nonce,
+		}
+		p.MAC = VoucherMAC(key, p.Payer, p.Payee, p.AmountMilli, p.Nonce)
+		if !VerifyVoucher(key, p) {
+			return false
+		}
+		p.AmountMilli++ // inflate the payment
+		return !VerifyVoucher(key, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyVoucherNil(t *testing.T) {
+	if VerifyVoucher([]byte("k"), nil) {
+		t.Fatal("nil voucher verified")
+	}
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// Series accumulates scalar observations and computes summary statistics.
+// It is the workhorse for experiment metrics throughout the repository.
+type Series struct {
+	vals []float64
+	sum  float64
+}
+
+// Add records one observation.
+func (s *Series) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sum += v
+}
+
+// N returns the number of observations.
+func (s *Series) N() int { return len(s.vals) }
+
+// Sum returns the total of all observations.
+func (s *Series) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.vals))
+}
+
+// Var returns the population variance, or 0 for fewer than 2 observations.
+func (s *Series) Var() float64 {
+	if len(s.vals) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s.vals {
+		d := v - m
+		acc += d * d
+	}
+	return acc / float64(len(s.vals))
+}
+
+// Stddev returns the population standard deviation.
+func (s *Series) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the minimum observation, or +Inf for an empty series.
+func (s *Series) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range s.vals {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max returns the maximum observation, or -Inf for an empty series.
+func (s *Series) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range s.vals {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank on a
+// sorted copy. Returns 0 for an empty series.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(s.vals))
+	copy(sorted, s.vals)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Values returns a copy of the raw observations in insertion order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.vals))
+	copy(out, s.vals)
+	return out
+}
+
+// Gini computes the Gini coefficient of the observations — used as an
+// inequality measure for welfare and market-share distributions. Values
+// must be non-negative; returns 0 for empty or all-zero series.
+func (s *Series) Gini() float64 {
+	n := len(s.vals)
+	if n == 0 || s.sum == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, s.vals)
+	sort.Float64s(sorted)
+	var cum float64
+	for i, v := range sorted {
+		cum += v * float64(2*(i+1)-n-1)
+	}
+	return cum / (float64(n) * s.sum)
+}
+
+// Counter is a simple named event counter map.
+type Counter map[string]int
+
+// Inc increments a named counter by one and returns the new value.
+func (c Counter) Inc(name string) int {
+	c[name]++
+	return c[name]
+}
+
+// Addn increments a named counter by n.
+func (c Counter) Addn(name string, n int) { c[name] += n }
+
+// Get returns the count for name (0 if never incremented).
+func (c Counter) Get(name string) int { return c[name] }

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations, mirroring package time but in simulated units.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns the time as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	}
+	return fmt.Sprintf("%dns", int64(t))
+}
+
+// FromSeconds converts seconds to simulated Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among same-time events
+	fn   func()
+	dead bool
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a discrete-event simulation loop: events execute in
+// timestamp order, ties broken by scheduling order. It is single-threaded
+// by design — determinism is the point.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// Processed counts events executed, for loop-detection and stats.
+	Processed uint64
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending reports the number of events waiting to run (including
+// cancelled events not yet drained).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn at the absolute simulated time at. Scheduling in the past
+// panics: it would silently reorder causality.
+func (s *Scheduler) At(at Time, fn func()) EventID {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return EventID{ev}
+}
+
+// After schedules fn after a delay from now.
+func (s *Scheduler) After(d Time, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from running. Cancelling an already-run
+// or already-cancelled event is a no-op.
+func (s *Scheduler) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.dead = true
+	}
+}
+
+// Stop halts Run/RunUntil after the current event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Scheduler) Run() {
+	s.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil executes events with timestamps <= deadline, advances the clock
+// to deadline, and returns. Events scheduled beyond the deadline remain
+// queued.
+func (s *Scheduler) RunUntil(deadline Time) {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		ev := s.queue[0]
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&s.queue)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.Processed++
+		ev.fn()
+	}
+	if !s.stopped && s.now < deadline && deadline < Time(1<<62-1) {
+		s.now = deadline
+	}
+}
+
+// Step executes exactly one live event and returns true, or returns false
+// if the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.Processed++
+		ev.fn()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,403 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequences diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedChangesSequence(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	var s Series
+	for i := 0; i < 50000; i++ {
+		s.Add(r.Exp(3.0))
+	}
+	if m := s.Mean(); math.Abs(m-3.0) > 0.1 {
+		t.Fatalf("Exp mean = %v, want ~3.0", m)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(13)
+	var s Series
+	for i := 0; i < 50000; i++ {
+		s.Add(r.Normal(5, 2))
+	}
+	if m := s.Mean(); math.Abs(m-5) > 0.1 {
+		t.Fatalf("Normal mean = %v, want ~5", m)
+	}
+	if sd := s.Stddev(); math.Abs(sd-2) > 0.1 {
+		t.Fatalf("Normal stddev = %v, want ~2", sd)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(17)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		sort.Ints(p)
+		for i, v := range p {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPickWeighted(t *testing.T) {
+	r := NewRNG(19)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Pick([]float64{1, 2, 7})]++
+	}
+	// Expect roughly 10%, 20%, 70%.
+	if f := float64(counts[2]) / 30000; f < 0.65 || f > 0.75 {
+		t.Fatalf("heavy weight picked %.3f of the time, want ~0.70", f)
+	}
+	if f := float64(counts[0]) / 30000; f < 0.07 || f > 0.13 {
+		t.Fatalf("light weight picked %.3f of the time, want ~0.10", f)
+	}
+}
+
+func TestRNGPickZeroWeightsUniform(t *testing.T) {
+	r := NewRNG(23)
+	counts := [4]int{}
+	for i := 0; i < 4000; i++ {
+		counts[r.Pick([]float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("zero-weight pick not uniform: bucket %d got %d/4000", i, c)
+		}
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	parent := NewRNG(5)
+	child := parent.Fork()
+	if child.Uint64() == parent.Uint64() {
+		// Not strictly impossible but overwhelmingly unlikely; a match
+		// indicates Fork returned an aliased state.
+		t.Fatal("fork appears to share state with parent")
+	}
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+}
+
+func TestSchedulerFIFOTieBreak(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(100, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulerClockAdvances(t *testing.T) {
+	s := NewScheduler()
+	var at1, at2 Time
+	s.At(50, func() { at1 = s.Now() })
+	s.After(120, func() { at2 = s.Now() })
+	s.Run()
+	if at1 != 50 {
+		t.Fatalf("Now inside event = %v, want 50", at1)
+	}
+	if at2 != 120 {
+		t.Fatalf("After scheduled at %v, want 120", at2)
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	hits := 0
+	var recur func()
+	recur = func() {
+		hits++
+		if hits < 5 {
+			s.After(10, recur)
+		}
+	}
+	s.After(0, recur)
+	s.Run()
+	if hits != 5 {
+		t.Fatalf("nested scheduling ran %d times, want 5", hits)
+	}
+	if s.Now() != 40 {
+		t.Fatalf("clock = %v, want 40", s.Now())
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	id := s.At(10, func() { ran = true })
+	s.Cancel(id)
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var ran []Time
+	s.At(10, func() { ran = append(ran, 10) })
+	s.At(20, func() { ran = append(ran, 20) })
+	s.At(30, func() { ran = append(ran, 30) })
+	s.RunUntil(20)
+	if len(ran) != 2 {
+		t.Fatalf("RunUntil(20) ran %d events, want 2", len(ran))
+	}
+	if s.Now() != 20 {
+		t.Fatalf("clock = %v, want 20", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if len(ran) != 3 {
+		t.Fatal("remaining event did not run")
+	}
+}
+
+func TestSchedulerPastSchedulingPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		s.At(50, func() {})
+	})
+	s.Run()
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.At(Time(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("Stop did not halt the loop: ran %d", count)
+	}
+}
+
+func TestSchedulerStep(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	s.At(1, func() { n++ })
+	s.At(2, func() { n++ })
+	if !s.Step() || n != 1 {
+		t.Fatal("first Step failed")
+	}
+	if !s.Step() || n != 2 {
+		t.Fatal("second Step failed")
+	}
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{Second + Second/2, "1.500s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	f := func(msRaw uint16) bool {
+		s := float64(msRaw) / 1000
+		return math.Abs(FromSeconds(s).Seconds()-s) < 2e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Sum() != 15 || s.Mean() != 3 {
+		t.Fatalf("N/Sum/Mean = %d/%v/%v", s.N(), s.Sum(), s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if v := s.Var(); math.Abs(v-2) > 1e-9 {
+		t.Fatalf("Var = %v, want 2", v)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Var() != 0 || s.Percentile(50) != 0 || s.Gini() != 0 {
+		t.Fatal("empty series statistics should be zero")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatal("empty Min/Max should be infinities")
+	}
+}
+
+func TestSeriesPercentile(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if p := s.Percentile(50); p != 50 {
+		t.Fatalf("p50 = %v, want 50", p)
+	}
+	if p := s.Percentile(99); p != 99 {
+		t.Fatalf("p99 = %v, want 99", p)
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %v, want 1", p)
+	}
+	if p := s.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %v, want 100", p)
+	}
+}
+
+func TestSeriesGini(t *testing.T) {
+	var equal Series
+	for i := 0; i < 10; i++ {
+		equal.Add(5)
+	}
+	if g := equal.Gini(); math.Abs(g) > 1e-9 {
+		t.Fatalf("Gini of equal distribution = %v, want 0", g)
+	}
+	var unequal Series
+	unequal.Add(100)
+	for i := 0; i < 9; i++ {
+		unequal.Add(0)
+	}
+	if g := unequal.Gini(); g < 0.85 {
+		t.Fatalf("Gini of maximally unequal = %v, want ~0.9", g)
+	}
+}
+
+func TestSeriesGiniBounds(t *testing.T) {
+	r := NewRNG(31)
+	f := func(seed uint32) bool {
+		var s Series
+		n := int(seed%20) + 1
+		for i := 0; i < n; i++ {
+			s.Add(r.Float64() * 10)
+		}
+		g := s.Gini()
+		return g >= -1e-9 && g <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{}
+	c.Inc("a")
+	c.Inc("a")
+	c.Addn("b", 5)
+	if c.Get("a") != 2 || c.Get("b") != 5 || c.Get("missing") != 0 {
+		t.Fatalf("counter state wrong: %v", c)
+	}
+}

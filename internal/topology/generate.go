@@ -1,0 +1,133 @@
+package topology
+
+import (
+	"repro/internal/sim"
+)
+
+// HierarchyConfig parameterizes the standard three-tier internetwork
+// generator: a tier-1 clique of settlement-free peers, tier-2 regional
+// ISPs multihomed to tier-1s, and stub edge networks attached to one or
+// two tier-2s.
+type HierarchyConfig struct {
+	// Tier1 is the size of the core clique (>= 1).
+	Tier1 int
+	// Tier2 is the number of regional transit ISPs.
+	Tier2 int
+	// Stubs is the number of edge networks.
+	Stubs int
+	// MultihomeProb is the probability a tier-2 or stub buys transit
+	// from a second upstream — the consumer-side choice point of §V-A1.
+	MultihomeProb float64
+	// PeerProb is the probability two tier-2 ISPs peer directly.
+	PeerProb float64
+	// BaseLatency is the per-link propagation delay mean.
+	BaseLatency sim.Time
+}
+
+// DefaultHierarchy is a small but non-trivial internetwork used by
+// examples and tests.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		Tier1:         3,
+		Tier2:         6,
+		Stubs:         12,
+		MultihomeProb: 0.4,
+		PeerProb:      0.3,
+		BaseLatency:   5 * sim.Millisecond,
+	}
+}
+
+// GenerateHierarchy builds a connected three-tier topology. Node IDs are
+// assigned in tier order starting at 1 (ID 0 is reserved as "none").
+func GenerateHierarchy(cfg HierarchyConfig, rng *sim.RNG) *Graph {
+	if cfg.Tier1 < 1 {
+		cfg.Tier1 = 1
+	}
+	g := NewGraph()
+	next := NodeID(1)
+	lat := func() sim.Time {
+		if cfg.BaseLatency == 0 {
+			cfg.BaseLatency = 5 * sim.Millisecond
+		}
+		jitter := sim.Time(rng.Range(0.5, 1.5) * float64(cfg.BaseLatency))
+		return jitter
+	}
+	cost := func() float64 { return rng.Range(1, 10) }
+
+	var tier1, tier2 []NodeID
+	for i := 0; i < cfg.Tier1; i++ {
+		g.AddNode(next, Transit, 1)
+		tier1 = append(tier1, next)
+		next++
+	}
+	// Tier-1 full mesh of peers.
+	for i := 0; i < len(tier1); i++ {
+		for j := i + 1; j < len(tier1); j++ {
+			g.AddLink(tier1[i], tier1[j], PeerOf, lat(), cost())
+		}
+	}
+	for i := 0; i < cfg.Tier2; i++ {
+		g.AddNode(next, Transit, 2)
+		tier2 = append(tier2, next)
+		// Every tier-2 buys transit from at least one tier-1.
+		up := tier1[rng.Intn(len(tier1))]
+		g.AddLink(next, up, CustomerOf, lat(), cost())
+		if rng.Bool(cfg.MultihomeProb) && len(tier1) > 1 {
+			second := tier1[rng.Intn(len(tier1))]
+			if second == up {
+				second = tier1[(indexOf(tier1, up)+1)%len(tier1)]
+			}
+			g.AddLink(next, second, CustomerOf, lat(), cost())
+		}
+		next++
+	}
+	// Tier-2 peering.
+	for i := 0; i < len(tier2); i++ {
+		for j := i + 1; j < len(tier2); j++ {
+			if rng.Bool(cfg.PeerProb) {
+				g.AddLink(tier2[i], tier2[j], PeerOf, lat(), cost())
+			}
+		}
+	}
+	upstreams := tier2
+	if len(upstreams) == 0 {
+		upstreams = tier1
+	}
+	for i := 0; i < cfg.Stubs; i++ {
+		g.AddNode(next, Stub, 3)
+		up := upstreams[rng.Intn(len(upstreams))]
+		g.AddLink(next, up, CustomerOf, lat(), cost())
+		if rng.Bool(cfg.MultihomeProb) && len(upstreams) > 1 {
+			second := upstreams[rng.Intn(len(upstreams))]
+			if second == up {
+				second = upstreams[(indexOf(upstreams, up)+1)%len(upstreams)]
+			}
+			g.AddLink(next, second, CustomerOf, lat(), cost())
+		}
+		next++
+	}
+	return g
+}
+
+func indexOf(ids []NodeID, id NodeID) int {
+	for i, v := range ids {
+		if v == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Linear builds a simple chain topology a-b-c-... of transit nodes with
+// customer-of relationships pointing left-to-right providers; useful for
+// focused unit tests.
+func Linear(n int, latency sim.Time) *Graph {
+	g := NewGraph()
+	for i := 1; i <= n; i++ {
+		g.AddNode(NodeID(i), Transit, 1)
+	}
+	for i := 1; i < n; i++ {
+		g.AddLink(NodeID(i), NodeID(i+1), CustomerOf, latency, 1)
+	}
+	return g
+}

@@ -1,0 +1,262 @@
+// Package topology models the provider-level structure of the simulated
+// internetwork: autonomous systems (ISPs and stub networks) connected by
+// links that carry an explicit business relationship — customer/provider
+// or peer — in the style of Gao–Rexford. The business relationships are
+// what make routing a tussle space (§V-A of the paper): they determine
+// which paths a provider is *willing* to announce, as distinct from which
+// paths exist.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies an autonomous system. It doubles as the provider
+// number in packet addresses.
+type NodeID uint16
+
+// Kind classifies a node's role.
+type Kind uint8
+
+// Node kinds.
+const (
+	// Transit is an ISP that carries traffic for others.
+	Transit Kind = iota
+	// Stub is an edge network (enterprise, residential aggregate) that
+	// originates and sinks traffic but does not provide transit.
+	Stub
+)
+
+func (k Kind) String() string {
+	if k == Transit {
+		return "transit"
+	}
+	return "stub"
+}
+
+// Relationship is the business relationship on a link, from the
+// perspective of the lower-numbered endpoint ("A").
+type Relationship uint8
+
+// Link relationships.
+const (
+	// CustomerOf: A is a customer of B (B provides transit to A).
+	CustomerOf Relationship = iota
+	// PeerOf: A and B are settlement-free peers.
+	PeerOf
+)
+
+func (r Relationship) String() string {
+	if r == CustomerOf {
+		return "customer-of"
+	}
+	return "peer-of"
+}
+
+// Link is an inter-AS adjacency.
+type Link struct {
+	A, B NodeID
+	Rel  Relationship
+	// Latency is the one-way propagation delay.
+	Latency sim.Time
+	// Cost is the IGP-style metric used by link-state routing. It is
+	// public by construction in a link-state world (§IV-C: "a link-state
+	// routing protocol requires that everyone export his link costs").
+	Cost float64
+}
+
+// Other returns the endpoint that is not id.
+func (l Link) Other(id NodeID) NodeID {
+	if l.A == id {
+		return l.B
+	}
+	return l.A
+}
+
+// Node is one autonomous system.
+type Node struct {
+	ID   NodeID
+	Kind Kind
+	// Tier is 1 for the core clique, higher for regional/stub tiers.
+	Tier int
+}
+
+// Graph is the AS-level topology.
+type Graph struct {
+	Nodes map[NodeID]*Node
+	Links []Link
+	// adj caches adjacency: node -> link indices.
+	adj map[NodeID][]int
+}
+
+// NewGraph returns an empty topology.
+func NewGraph() *Graph {
+	return &Graph{Nodes: make(map[NodeID]*Node), adj: make(map[NodeID][]int)}
+}
+
+// AddNode inserts a node; it panics on duplicate IDs (topology bugs should
+// fail loudly at construction).
+func (g *Graph) AddNode(id NodeID, kind Kind, tier int) *Node {
+	if _, dup := g.Nodes[id]; dup {
+		panic(fmt.Sprintf("topology: duplicate node %d", id))
+	}
+	n := &Node{ID: id, Kind: kind, Tier: tier}
+	g.Nodes[id] = n
+	return n
+}
+
+// AddLink connects two existing nodes. rel is from a's perspective:
+// AddLink(a, b, CustomerOf, ...) means a buys transit from b.
+func (g *Graph) AddLink(a, b NodeID, rel Relationship, latency sim.Time, cost float64) {
+	if _, ok := g.Nodes[a]; !ok {
+		panic(fmt.Sprintf("topology: link references unknown node %d", a))
+	}
+	if _, ok := g.Nodes[b]; !ok {
+		panic(fmt.Sprintf("topology: link references unknown node %d", b))
+	}
+	if a == b {
+		panic("topology: self-link")
+	}
+	idx := len(g.Links)
+	g.Links = append(g.Links, Link{A: a, B: b, Rel: rel, Latency: latency, Cost: cost})
+	g.adj[a] = append(g.adj[a], idx)
+	g.adj[b] = append(g.adj[b], idx)
+}
+
+// Neighbors returns the IDs adjacent to id, in deterministic order.
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	var out []NodeID
+	for _, li := range g.adj[id] {
+		out = append(out, g.Links[li].Other(id))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LinkBetween returns the link between a and b, if any.
+func (g *Graph) LinkBetween(a, b NodeID) (Link, bool) {
+	for _, li := range g.adj[a] {
+		l := g.Links[li]
+		if l.Other(a) == b {
+			return l, true
+		}
+	}
+	return Link{}, false
+}
+
+// RelFrom reports the relationship of the a→b edge from a's perspective:
+// what b is to a. The second return is false when no link exists.
+func (g *Graph) RelFrom(a, b NodeID) (NeighborClass, bool) {
+	l, ok := g.LinkBetween(a, b)
+	if !ok {
+		return 0, false
+	}
+	switch {
+	case l.Rel == PeerOf:
+		return Peer, true
+	case l.A == a && l.Rel == CustomerOf:
+		return Provider, true // a is customer of b => b is a's provider
+	default:
+		return Customer, true // b is a's customer
+	}
+}
+
+// NeighborClass is what a neighbor is to this node.
+type NeighborClass uint8
+
+// Neighbor classes from the local node's perspective.
+const (
+	Customer NeighborClass = iota
+	Peer
+	Provider
+)
+
+func (c NeighborClass) String() string {
+	switch c {
+	case Customer:
+		return "customer"
+	case Peer:
+		return "peer"
+	default:
+		return "provider"
+	}
+}
+
+// Providers returns the IDs this node buys transit from.
+func (g *Graph) Providers(id NodeID) []NodeID {
+	var out []NodeID
+	for _, n := range g.Neighbors(id) {
+		if c, ok := g.RelFrom(id, n); ok && c == Provider {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Customers returns the IDs that buy transit from this node.
+func (g *Graph) Customers(id NodeID) []NodeID {
+	var out []NodeID
+	for _, n := range g.Neighbors(id) {
+		if c, ok := g.RelFrom(id, n); ok && c == Customer {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Peers returns this node's settlement-free peers.
+func (g *Graph) Peers(id NodeID) []NodeID {
+	var out []NodeID
+	for _, n := range g.Neighbors(id) {
+		if c, ok := g.RelFrom(id, n); ok && c == Peer {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NodeIDs returns all node IDs in ascending order (deterministic
+// iteration for simulations).
+func (g *Graph) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(g.Nodes))
+	for id := range g.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Stubs returns all stub node IDs in ascending order.
+func (g *Graph) Stubs() []NodeID {
+	var out []NodeID
+	for _, id := range g.NodeIDs() {
+		if g.Nodes[id].Kind == Stub {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Connected reports whether the undirected graph is connected.
+func (g *Graph) Connected() bool {
+	if len(g.Nodes) == 0 {
+		return true
+	}
+	start := g.NodeIDs()[0]
+	seen := map[NodeID]bool{start: true}
+	stack := []NodeID{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range g.Neighbors(n) {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return len(seen) == len(g.Nodes)
+}

@@ -1,0 +1,294 @@
+// Package transport implements reliable data transfer over the simulated
+// internetwork — the machinery at the heart of the end-to-end arguments
+// (§VI-A; Saltzer, Reed & Clark is the paper's reference [44]). Two
+// designs are provided so experiments can compare them:
+//
+//   - end-to-end ARQ: only the endpoints retransmit; the network stays
+//     simple and transparent (the e2e-argument design);
+//   - hop-by-hop ARQ: each forwarding node also acknowledges and
+//     retransmits per link — the "function in the network" alternative,
+//     which can reduce retransmission span on lossy paths at the price
+//     of state and failure points inside the network.
+//
+// The sender implements a sliding window with cumulative ACKs,
+// retransmission timers on the simulation scheduler, and AIMD-free fixed
+// windows (congestion control lives in internal/congestion; this package
+// is about reliability semantics).
+package transport
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Segment flags ride in TTP.Flags; ACKs carry the cumulative next
+// expected sequence number in TTP.Ack.
+
+// Config tunes a transfer.
+type Config struct {
+	// Window is the sender's window in segments.
+	Window int
+	// SegmentSize is payload bytes per segment.
+	SegmentSize int
+	// RTO is the retransmission timeout.
+	RTO sim.Time
+	// MaxRetries gives up on a segment after this many retransmissions.
+	MaxRetries int
+	// ContentType declares what the stream carries (TTP.Next on data
+	// segments). Observers classify by it: a stream of Crypto content
+	// is visibly encrypted even though each segment is a fragment.
+	// Zero value means LayerTypeRaw.
+	ContentType packet.LayerType
+}
+
+// DefaultConfig returns sane laptop-scale defaults.
+func DefaultConfig() Config {
+	return Config{Window: 8, SegmentSize: 512, RTO: 60 * sim.Millisecond, MaxRetries: 30,
+		ContentType: packet.LayerTypeRaw}
+}
+
+// Stats summarizes a completed (or failed) transfer.
+type Stats struct {
+	// Done reports full delivery.
+	Done bool
+	// Segments is the number of distinct segments.
+	Segments int
+	// Sent counts transmissions including retransmissions.
+	Sent int
+	// Retransmissions counts re-sent segments.
+	Retransmissions int
+	// Elapsed is the transfer duration.
+	Elapsed sim.Time
+}
+
+// Receiver reassembles a byte stream delivered to a node. Install wires
+// it into the node's delivery hook for the given port.
+type Receiver struct {
+	Port uint16
+	// next is the next expected sequence number (segment index).
+	next uint32
+	// buf holds out-of-order segments.
+	buf map[uint32][]byte
+	// Data accumulates the in-order stream.
+	Data []byte
+	// Acks counts acknowledgments sent.
+	Acks int
+
+	net  *netsim.Network
+	node topology.NodeID
+	addr packet.Addr
+}
+
+// InstallReceiver attaches a receiver for port at node id, chaining any
+// existing delivery handler for other traffic.
+func InstallReceiver(net *netsim.Network, id topology.NodeID, port uint16) *Receiver {
+	r := &Receiver{Port: port, buf: map[uint32][]byte{}, net: net, node: id, addr: packet.MakeAddr(uint16(id), 1)}
+	nd := net.Node(id)
+	prev := nd.Deliver
+	nd.Deliver = func(n *netsim.Node, tr *netsim.Trace, data []byte) {
+		if !r.handle(data) && prev != nil {
+			prev(n, tr, data)
+		}
+	}
+	return r
+}
+
+// handle consumes data segments for our port; returns false for
+// unrelated traffic.
+func (r *Receiver) handle(data []byte) bool {
+	var tip packet.TIP
+	if err := tip.DecodeFrom(data); err != nil || tip.Proto != packet.LayerTypeTTP {
+		return false
+	}
+	var ttp packet.TTP
+	if err := ttp.DecodeFrom(tip.LayerPayload()); err != nil || ttp.DstPort != r.Port {
+		return false
+	}
+	if ttp.Flags&packet.FlagACK != 0 {
+		return false // ACKs are for senders
+	}
+	seq := ttp.Seq
+	if seq >= r.next && r.buf[seq] == nil {
+		payload := make([]byte, len(ttp.LayerPayload()))
+		copy(payload, ttp.LayerPayload())
+		r.buf[seq] = payload
+	}
+	for r.buf[r.next] != nil {
+		r.Data = append(r.Data, r.buf[r.next]...)
+		delete(r.buf, r.next)
+		r.next++
+	}
+	// Cumulative ACK back to the sender.
+	ack, err := packet.Serialize(
+		&packet.TIP{TTL: 32, Proto: packet.LayerTypeTTP, Src: r.addr, Dst: tip.Src},
+		&packet.TTP{SrcPort: r.Port, DstPort: ttp.SrcPort, Ack: r.next, Flags: packet.FlagACK, Next: packet.LayerTypeRaw},
+		&packet.Raw{Data: nil})
+	if err == nil {
+		r.Acks++
+		r.net.Send(r.node, ack)
+	}
+	return true
+}
+
+// Sender drives a reliable transfer.
+type Sender struct {
+	cfg  Config
+	net  *netsim.Network
+	node topology.NodeID
+	addr packet.Addr
+	dst  packet.Addr
+	port uint16
+	src  uint16
+
+	segments [][]byte
+	acked    uint32 // cumulative: all < acked delivered
+	inflight map[uint32]sim.EventID
+	retries  map[uint32]int
+	stats    Stats
+	started  sim.Time
+	failed   bool
+}
+
+// NewSender prepares a transfer of data from node src to dstAddr:port.
+func NewSender(net *netsim.Network, src topology.NodeID, dstAddr packet.Addr, port uint16, data []byte, cfg Config) *Sender {
+	if cfg.Window <= 0 {
+		cfg = DefaultConfig()
+	}
+	s := &Sender{
+		cfg: cfg, net: net, node: src,
+		addr: packet.MakeAddr(uint16(src), 1), dst: dstAddr,
+		port: port, src: 40000,
+		inflight: map[uint32]sim.EventID{},
+		retries:  map[uint32]int{},
+	}
+	for off := 0; off < len(data); off += cfg.SegmentSize {
+		end := off + cfg.SegmentSize
+		if end > len(data) {
+			end = len(data)
+		}
+		seg := make([]byte, end-off)
+		copy(seg, data[off:end])
+		s.segments = append(s.segments, seg)
+	}
+	s.stats.Segments = len(s.segments)
+	return s
+}
+
+// Start begins the transfer and hooks ACK reception at the sending node.
+func (s *Sender) Start() {
+	s.started = s.net.Sched.Now()
+	nd := s.net.Node(s.node)
+	prev := nd.Deliver
+	nd.Deliver = func(n *netsim.Node, tr *netsim.Trace, data []byte) {
+		if !s.handleAck(data) && prev != nil {
+			prev(n, tr, data)
+		}
+	}
+	s.pump()
+}
+
+// Done reports whether all segments are acknowledged.
+func (s *Sender) Done() bool { return int(s.acked) >= len(s.segments) }
+
+// Failed reports whether the transfer gave up.
+func (s *Sender) Failed() bool { return s.failed }
+
+// Stats returns the transfer summary.
+func (s *Sender) Stats() Stats {
+	st := s.stats
+	st.Done = s.Done()
+	if st.Done {
+		st.Elapsed = s.stats.Elapsed
+	}
+	return st
+}
+
+// contentType is the declared stream content for data segments.
+func (s *Sender) contentType() packet.LayerType {
+	if s.cfg.ContentType == packet.LayerTypeNone {
+		return packet.LayerTypeRaw
+	}
+	return s.cfg.ContentType
+}
+
+// pump fills the window.
+func (s *Sender) pump() {
+	if s.failed {
+		return
+	}
+	for seq := s.acked; seq < uint32(len(s.segments)) && seq < s.acked+uint32(s.cfg.Window); seq++ {
+		if _, out := s.inflight[seq]; !out {
+			s.transmit(seq)
+		}
+	}
+}
+
+func (s *Sender) transmit(seq uint32) {
+	data, err := packet.Serialize(
+		&packet.TIP{TTL: 32, Proto: packet.LayerTypeTTP, Src: s.addr, Dst: s.dst},
+		&packet.TTP{SrcPort: s.src, DstPort: s.port, Seq: seq, Next: s.contentType()},
+		&packet.Raw{Data: s.segments[seq]})
+	if err != nil {
+		s.failed = true
+		return
+	}
+	s.stats.Sent++
+	s.net.Send(s.node, data)
+	s.inflight[seq] = s.net.Sched.After(s.cfg.RTO, func() { s.timeout(seq) })
+}
+
+func (s *Sender) timeout(seq uint32) {
+	if seq < s.acked || s.failed {
+		return
+	}
+	s.retries[seq]++
+	if s.retries[seq] > s.cfg.MaxRetries {
+		s.failed = true
+		return
+	}
+	s.stats.Retransmissions++
+	s.transmit(seq)
+}
+
+// handleAck consumes ACKs for our connection; returns false otherwise.
+func (s *Sender) handleAck(data []byte) bool {
+	var tip packet.TIP
+	if err := tip.DecodeFrom(data); err != nil || tip.Proto != packet.LayerTypeTTP {
+		return false
+	}
+	var ttp packet.TTP
+	if err := ttp.DecodeFrom(tip.LayerPayload()); err != nil {
+		return false
+	}
+	if ttp.Flags&packet.FlagACK == 0 || ttp.DstPort != s.src {
+		return false
+	}
+	if ttp.Ack > s.acked {
+		for seq := s.acked; seq < ttp.Ack; seq++ {
+			if id, ok := s.inflight[seq]; ok {
+				s.net.Sched.Cancel(id)
+				delete(s.inflight, seq)
+			}
+			delete(s.retries, seq)
+		}
+		s.acked = ttp.Ack
+		if s.Done() {
+			s.stats.Elapsed = s.net.Sched.Now() - s.started
+			return true
+		}
+		s.pump()
+	}
+	return true
+}
+
+// Transfer is the convenience wrapper: set up receiver and sender, run
+// the scheduler until quiescent, and return both sides' outcomes.
+func Transfer(net *netsim.Network, from, to topology.NodeID, port uint16, data []byte, cfg Config) (Stats, *Receiver) {
+	r := InstallReceiver(net, to, port)
+	s := NewSender(net, from, packet.MakeAddr(uint16(to), 1), port, data, cfg)
+	s.Start()
+	net.Sched.Run()
+	return s.Stats(), r
+}

@@ -1,0 +1,259 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// chain builds a 1-...-n chain with static routing.
+func chain(n int) (*netsim.Network, *sim.Scheduler) {
+	sched := sim.NewScheduler()
+	g := topology.Linear(n, sim.Millisecond)
+	net := netsim.New(sched, g)
+	for id := topology.NodeID(1); id <= topology.NodeID(n); id++ {
+		id := id
+		net.Node(id).Route = func(dst packet.Addr, tip *packet.TIP) (topology.NodeID, bool) {
+			d := topology.NodeID(dst.Provider())
+			switch {
+			case d > id:
+				return id + 1, true
+			case d < id:
+				return id - 1, true
+			}
+			return id, true
+		}
+	}
+	return net, sched
+}
+
+func payload(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(i * 31)
+	}
+	return out
+}
+
+func TestTransferCleanNetwork(t *testing.T) {
+	net, _ := chain(4)
+	data := payload(5000)
+	stats, r := Transfer(net, 1, 4, 9000, data, DefaultConfig())
+	if !stats.Done {
+		t.Fatalf("transfer incomplete: %+v", stats)
+	}
+	if !bytes.Equal(r.Data, data) {
+		t.Fatalf("data corrupted: got %d bytes", len(r.Data))
+	}
+	if stats.Retransmissions != 0 {
+		t.Fatalf("clean network retransmitted %d", stats.Retransmissions)
+	}
+	if stats.Segments != 10 {
+		t.Fatalf("segments = %d", stats.Segments)
+	}
+}
+
+func TestTransferSingleSegment(t *testing.T) {
+	net, _ := chain(2)
+	data := []byte("tiny")
+	stats, r := Transfer(net, 1, 2, 9000, data, DefaultConfig())
+	if !stats.Done || !bytes.Equal(r.Data, data) {
+		t.Fatalf("tiny transfer failed: %+v", stats)
+	}
+}
+
+func TestTransferEmptyPayload(t *testing.T) {
+	net, _ := chain(2)
+	stats, r := Transfer(net, 1, 2, 9000, nil, DefaultConfig())
+	if !stats.Done || len(r.Data) != 0 {
+		t.Fatalf("empty transfer: %+v", stats)
+	}
+}
+
+func TestTransferSurvivesLoss(t *testing.T) {
+	net, _ := chain(4)
+	rng := sim.NewRNG(7)
+	InstallLossyLink(net, 2, 0.3, rng)
+	data := payload(8000)
+	stats, r := Transfer(net, 1, 4, 9000, data, DefaultConfig())
+	if !stats.Done {
+		t.Fatalf("transfer died under 30%% loss: %+v", stats)
+	}
+	if !bytes.Equal(r.Data, data) {
+		t.Fatal("data corrupted under loss")
+	}
+	if stats.Retransmissions == 0 {
+		t.Fatal("loss produced no retransmissions?")
+	}
+}
+
+func TestTransferSurvivesLinkFlap(t *testing.T) {
+	net, sched := chain(4)
+	net.FlapLink(2, 3, 5*sim.Millisecond, 200*sim.Millisecond)
+	data := payload(4000)
+	r := InstallReceiver(net, 4, 9000)
+	s := NewSender(net, 1, packet.MakeAddr(4, 1), 9000, data, DefaultConfig())
+	s.Start()
+	sched.Run()
+	if !s.Done() {
+		t.Fatalf("transfer died across a link flap: %+v", s.Stats())
+	}
+	if !bytes.Equal(r.Data, data) {
+		t.Fatal("data corrupted across flap")
+	}
+}
+
+func TestTransferGivesUpOnPartition(t *testing.T) {
+	net, sched := chain(4)
+	net.FailLink(2, 3) // permanent
+	cfg := DefaultConfig()
+	cfg.MaxRetries = 3
+	s := NewSender(net, 1, packet.MakeAddr(4, 1), 9000, payload(1000), cfg)
+	InstallReceiver(net, 4, 9000)
+	s.Start()
+	sched.Run()
+	if !s.Failed() {
+		t.Fatal("sender should give up on a partitioned path")
+	}
+	if s.Done() {
+		t.Fatal("cannot be done across a partition")
+	}
+}
+
+func TestReceiverReassemblyOutOfOrderDuplicates(t *testing.T) {
+	// Drive the receiver directly with out-of-order and duplicate
+	// segments.
+	net, sched := chain(2)
+	r := InstallReceiver(net, 2, 9000)
+	send := func(seq uint32, body string) {
+		data, err := packet.Serialize(
+			&packet.TIP{TTL: 8, Proto: packet.LayerTypeTTP, Src: packet.MakeAddr(1, 1), Dst: packet.MakeAddr(2, 1)},
+			&packet.TTP{SrcPort: 40000, DstPort: 9000, Seq: seq, Next: packet.LayerTypeRaw},
+			&packet.Raw{Data: []byte(body)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Send(1, data)
+		sched.Run()
+	}
+	send(1, "BBB") // out of order
+	if len(r.Data) != 0 {
+		t.Fatal("delivered out-of-order data")
+	}
+	send(0, "AAA")
+	if string(r.Data) != "AAABBB" {
+		t.Fatalf("reassembly = %q", r.Data)
+	}
+	send(0, "AAA") // duplicate
+	send(1, "BBB") // duplicate
+	if string(r.Data) != "AAABBB" {
+		t.Fatalf("duplicates corrupted stream: %q", r.Data)
+	}
+}
+
+func TestTransferRoundTripQuick(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint16) bool {
+		net, _ := chain(3)
+		rng := sim.NewRNG(seed)
+		InstallLossyLink(net, 2, 0.15, rng)
+		size := int(sizeRaw%4000) + 1
+		data := payload(size)
+		stats, r := Transfer(net, 1, 3, 9000, data, DefaultConfig())
+		return stats.Done && bytes.Equal(r.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkARQRepairsLocally(t *testing.T) {
+	// Same loss process; ARQ repairs most losses before the end-to-end
+	// layer notices.
+	runWith := func(arq bool) (Stats, int) {
+		net, _ := chain(4)
+		rng := sim.NewRNG(11)
+		local := 0
+		if arq {
+			InstallLinkARQ(net, 2, 0.3, 5, rng, &local)
+			InstallLinkARQ(net, 3, 0.3, 5, rng, &local)
+		} else {
+			InstallLossyLink(net, 2, 0.3, rng)
+			InstallLossyLink(net, 3, 0.3, rng)
+		}
+		stats, _ := Transfer(net, 1, 4, 9000, payload(8000), DefaultConfig())
+		return stats, local
+	}
+	e2eOnly, _ := runWith(false)
+	withARQ, localResends := runWith(true)
+	if !e2eOnly.Done || !withARQ.Done {
+		t.Fatal("both configurations must complete")
+	}
+	if withARQ.Retransmissions >= e2eOnly.Retransmissions {
+		t.Fatalf("link ARQ should cut end-to-end retransmissions: %d vs %d",
+			withARQ.Retransmissions, e2eOnly.Retransmissions)
+	}
+	if localResends == 0 {
+		t.Fatal("ARQ did no local repairs")
+	}
+}
+
+func TestConcurrentTransfersIndependent(t *testing.T) {
+	net, sched := chain(4)
+	dataA := payload(3000)
+	dataB := bytes.Repeat([]byte("z"), 3000)
+	rA := InstallReceiver(net, 4, 9000)
+	rB := InstallReceiver(net, 4, 9001)
+	sA := NewSender(net, 1, packet.MakeAddr(4, 1), 9000, dataA, DefaultConfig())
+	sB := NewSender(net, 1, packet.MakeAddr(4, 1), 9001, dataB, DefaultConfig())
+	// Distinct source ports so ACK demux works.
+	sB.src = 40001
+	sA.Start()
+	sB.Start()
+	sched.Run()
+	if !sA.Done() || !sB.Done() {
+		t.Fatalf("concurrent transfers incomplete: %v %v", sA.Done(), sB.Done())
+	}
+	if !bytes.Equal(rA.Data, dataA) || !bytes.Equal(rB.Data, dataB) {
+		t.Fatal("streams cross-contaminated")
+	}
+}
+
+func TestDeclaredContentType(t *testing.T) {
+	net, sched := chain(2)
+	var seen []packet.LayerType
+	// Observe segments at the receiver by decoding TTP.Next.
+	r := InstallReceiver(net, 2, 9000)
+	nd := net.Node(2)
+	prevDeliver := nd.Deliver
+	nd.Deliver = func(n *netsim.Node, tr *netsim.Trace, data []byte) {
+		var tip packet.TIP
+		if tip.DecodeFrom(data) == nil && tip.Proto == packet.LayerTypeTTP {
+			var ttp packet.TTP
+			if ttp.DecodeFrom(tip.LayerPayload()) == nil && ttp.Flags&packet.FlagACK == 0 {
+				seen = append(seen, ttp.Next)
+			}
+		}
+		prevDeliver(n, tr, data)
+	}
+	cfg := DefaultConfig()
+	cfg.ContentType = packet.LayerTypeCrypto
+	s := NewSender(net, 1, packet.MakeAddr(2, 1), 9000, payload(1500), cfg)
+	s.Start()
+	sched.Run()
+	if !s.Done() || len(r.Data) != 1500 {
+		t.Fatalf("transfer failed: done=%v got=%d", s.Done(), len(r.Data))
+	}
+	if len(seen) == 0 {
+		t.Fatal("no segments observed")
+	}
+	for _, next := range seen {
+		if next != packet.LayerTypeCrypto {
+			t.Fatalf("segment declared %v, want Crypto", next)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package trust
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func BenchmarkCertIssueVerify(b *testing.B) {
+	rng := sim.NewRNG(1)
+	ca := NewPrincipal("ca", Certified, rng)
+	leaf := NewPrincipal("leaf", Certified, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cert := Issue(ca, "leaf", leaf.Pub, nil, 1000*sim.Second)
+		if err := VerifyCert(cert, ca.Pub, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionEstablish(b *testing.B) {
+	rng := sim.NewRNG(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, c := &Endpoint{}, &Endpoint{}
+		if _, _, err := Establish(a, c, rng, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

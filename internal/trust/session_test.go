@@ -1,0 +1,172 @@
+package trust
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// pki builds a root CA and a certified principal with its chain.
+func pki(rng *sim.RNG, name string) (*Principal, *Principal, []*Certificate) {
+	root := NewPrincipal("root-ca", Certified, rng)
+	leaf := NewPrincipal(name, Certified, rng)
+	chain := []*Certificate{Issue(root, name, leaf.Pub, nil, 1000*sim.Second)}
+	return root, leaf, chain
+}
+
+func TestEstablishCertifiedBothSides(t *testing.T) {
+	rng := sim.NewRNG(1)
+	root, alice, aliceChain := pki(rng, "alice")
+	bob := NewPrincipal("bob", Certified, rng)
+	bobChain := []*Certificate{Issue(root, "bob", bob.Pub, nil, 1000*sim.Second)}
+	anchors := Anchors{"root-ca": root.Pub}
+
+	a := &Endpoint{Principal: alice, Chain: aliceChain, Anchors: anchors, RequireCertified: true}
+	b := &Endpoint{Principal: bob, Chain: bobChain, Anchors: anchors, RequireCertified: true}
+	ka, kb, err := Establish(a, b, rng, 10*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ka, kb) {
+		t.Fatal("key mismatch")
+	}
+	if len(ka) != 32 {
+		t.Fatalf("key length %d", len(ka))
+	}
+}
+
+func TestEstablishRefusesAnonymousWhenRequired(t *testing.T) {
+	rng := sim.NewRNG(2)
+	root, alice, chain := pki(rng, "alice")
+	anchors := Anchors{"root-ca": root.Pub}
+	a := &Endpoint{Principal: alice, Chain: chain, Anchors: anchors, RequireCertified: true}
+	anon := &Endpoint{} // visibly anonymous
+	_, _, err := Establish(a, anon, rng, 10)
+	if !errors.Is(err, ErrPeerIdentity) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEstablishAcceptsAnonymousWhenAllowed(t *testing.T) {
+	rng := sim.NewRNG(3)
+	root, alice, chain := pki(rng, "alice")
+	anchors := Anchors{"root-ca": root.Pub}
+	a := &Endpoint{Principal: alice, Chain: chain, Anchors: anchors}
+	anon := &Endpoint{}
+	ka, kb, err := Establish(a, anon, rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ka, kb) {
+		t.Fatal("key mismatch with anonymous peer")
+	}
+}
+
+func TestEstablishDetectsImpersonation(t *testing.T) {
+	rng := sim.NewRNG(4)
+	root, alice, aliceChain := pki(rng, "alice")
+	anchors := Anchors{"root-ca": root.Pub}
+	// Mallory presents alice's chain but signs with her own key.
+	mallory := NewPrincipal("alice", Certified, rng) // claims to be alice
+	verifier := &Endpoint{Principal: alice, Chain: aliceChain, Anchors: anchors, RequireCertified: true}
+	imposter := &Endpoint{Principal: mallory, Chain: aliceChain, Anchors: anchors}
+
+	hi, err := imposter.NewHello(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verifier.NewHello(rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verifier.Complete(hi, 10); !errors.Is(err, ErrHelloSig) {
+		t.Fatalf("impersonation err = %v", err)
+	}
+}
+
+func TestEstablishRejectsWrongSubjectChain(t *testing.T) {
+	rng := sim.NewRNG(5)
+	root, alice, _ := pki(rng, "alice")
+	anchors := Anchors{"root-ca": root.Pub}
+	// Bob presents a valid chain — for carol.
+	carol := NewPrincipal("carol", Certified, rng)
+	carolChain := []*Certificate{Issue(root, "carol", carol.Pub, nil, 1000*sim.Second)}
+	bob := NewPrincipal("bob", Certified, rng)
+	verifier := &Endpoint{Principal: alice, Anchors: anchors, RequireCertified: true}
+	liar := &Endpoint{Principal: bob, Chain: carolChain}
+
+	hl, err := liar.NewHello(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verifier.NewHello(rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verifier.Complete(hl, 10); !errors.Is(err, ErrPeerIdentity) {
+		t.Fatalf("wrong-subject err = %v", err)
+	}
+}
+
+func TestEstablishRejectsExpiredChain(t *testing.T) {
+	rng := sim.NewRNG(6)
+	root := NewPrincipal("root-ca", Certified, rng)
+	alice := NewPrincipal("alice", Certified, rng)
+	chain := []*Certificate{Issue(root, "alice", alice.Pub, nil, 5*sim.Second)}
+	anchors := Anchors{"root-ca": root.Pub}
+	bob := NewPrincipal("bob", Certified, rng)
+	bobChain := []*Certificate{Issue(root, "bob", bob.Pub, nil, 1000*sim.Second)}
+
+	a := &Endpoint{Principal: alice, Chain: chain, Anchors: anchors}
+	b := &Endpoint{Principal: bob, Chain: bobChain, Anchors: anchors, RequireCertified: true}
+	// At t=100s alice's cert is long expired.
+	_, _, err := Establish(a, b, rng, 100*sim.Second)
+	if !errors.Is(err, ErrPeerIdentity) {
+		t.Fatalf("expired-chain err = %v", err)
+	}
+}
+
+func TestCompleteBeforeHello(t *testing.T) {
+	rng := sim.NewRNG(7)
+	e := &Endpoint{}
+	other := &Endpoint{}
+	h, err := other.NewHello(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Complete(h, 0); err == nil {
+		t.Fatal("Complete without NewHello should fail")
+	}
+}
+
+func TestSessionKeysDifferAcrossSessions(t *testing.T) {
+	rng := sim.NewRNG(8)
+	a1, b1 := &Endpoint{}, &Endpoint{}
+	k1, _, err := Establish(a1, b1, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, b2 := &Endpoint{}, &Endpoint{}
+	k2, _, err := Establish(a2, b2, rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(k1, k2) {
+		t.Fatal("sessions derived identical keys — no forward secrecy")
+	}
+}
+
+func TestEstablishDeterministicPerSeed(t *testing.T) {
+	run := func() []byte {
+		rng := sim.NewRNG(9)
+		a, b := &Endpoint{}, &Endpoint{}
+		k, _, err := Establish(a, b, rng, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("same seed produced different session keys")
+	}
+}
