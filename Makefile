@@ -1,0 +1,41 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs `make ci`.
+
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench bench-json experiments ci
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel experiment runner is the repo's only intentional
+# concurrency; -race on every change keeps it honest.
+race:
+	$(GO) test -race ./...
+
+# One-iteration smoke of the suite benchmarks: catches regressions that
+# break the benches without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='BenchmarkAllExperiments' -benchtime=1x -benchmem .
+
+# Full benchmark pass over every per-experiment benchmark.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+# Regenerate the recorded perf baseline (per-experiment ns/op and
+# allocs/op plus sequential-vs-parallel suite wall time).
+bench-json:
+	$(GO) run ./cmd/tussle-bench -quiet -json BENCH_suite.json >/dev/null
+
+# Regenerate EXPERIMENTS.md from the current code.
+experiments:
+	$(GO) run ./cmd/tussle-bench -markdown > EXPERIMENTS.md
+
+ci: vet build test race bench-smoke

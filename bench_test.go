@@ -65,3 +65,16 @@ func BenchmarkAllExperiments(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAllExperimentsParallel is the same regeneration fanned out
+// across GOMAXPROCS workers by experiments.RunAll. The determinism test
+// in internal/experiments proves its output identical to the sequential
+// suite; this benchmark tracks the wall-clock win.
+func BenchmarkAllExperimentsParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rs := experiments.RunAll(benchSeed, experiments.Options{}); len(rs) != 26 {
+			b.Fatal("suite incomplete")
+		}
+	}
+}

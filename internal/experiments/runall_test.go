@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// sequentialBaseline runs the registry directly, bypassing RunAll, as the
+// ground truth the parallel runner must reproduce byte-for-byte.
+func sequentialBaseline(seed uint64) []*Result {
+	out := make([]*Result, len(registry))
+	for i, e := range registry {
+		out[i] = e.Run(seed)
+	}
+	return out
+}
+
+// RunAll must produce results deep-equal to the sequential suite — same
+// table order, row order, and cell values — at every parallelism level.
+// This is the determinism contract: experiments are pure functions of
+// their seed with no shared mutable package state.
+func TestRunAllDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite determinism check is slow")
+	}
+	seeds := []uint64{1, 42, 20260806}
+	levels := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, seed := range seeds {
+		want := sequentialBaseline(seed)
+		if got := All(seed); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: All diverged from sequential baseline", seed)
+		}
+		for _, p := range levels {
+			got := RunAll(seed, Options{Parallelism: p})
+			if len(got) != len(want) {
+				t.Fatalf("seed %d parallelism %d: %d results, want %d", seed, p, len(got), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("seed %d parallelism %d: experiment %s diverged from sequential run",
+						seed, p, want[i].ID)
+				}
+			}
+		}
+	}
+}
+
+// The registry must stay aligned with the result IDs and index order.
+func TestRegistryIDsMatchResults(t *testing.T) {
+	for i, e := range List() {
+		r := e.Run(42)
+		if r == nil || len(r.Rows) == 0 {
+			t.Fatalf("registry[%d] (%s) produced no rows", i, e.ID)
+		}
+		if r.ID != e.ID {
+			t.Fatalf("registry[%d] registered as %s but result says %s", i, e.ID, r.ID)
+		}
+	}
+}
+
+// Parallelism beyond the suite size and the zero (GOMAXPROCS) default
+// must both work.
+func TestRunAllParallelismEdgeCases(t *testing.T) {
+	want := sequentialBaseline(7)
+	for _, p := range []int{0, -1, 1000} {
+		if got := RunAll(7, Options{Parallelism: p}); !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallelism %d diverged from sequential baseline", p)
+		}
+	}
+}

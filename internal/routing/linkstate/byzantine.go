@@ -88,6 +88,9 @@ const (
 
 // AdDatabase is a link-state database built from advertisements rather
 // than ground truth.
+//
+// Like Database, it embeds SPF scratch space, so an AdDatabase must not
+// be shared across goroutines; each simulation owns its own.
 type AdDatabase struct {
 	g    *topology.Graph
 	Mode VerifyMode
@@ -96,6 +99,9 @@ type AdDatabase struct {
 
 	// Rejected counts advertisements or entries discarded by defenses.
 	Rejected int
+
+	scratch     spfScratch
+	nbrsScratch []topology.NodeID
 }
 
 // NewAdDatabase creates an empty advertisement database. keys maps each
@@ -156,28 +162,32 @@ func (db *AdDatabase) EffectiveCost(a, b topology.NodeID) (float64, bool) {
 func (db *AdDatabase) SPF(src topology.NodeID) (next map[topology.NodeID]topology.NodeID, dist map[topology.NodeID]float64) {
 	// Reuse the base implementation by adapting to a Database with
 	// overrides? The edge set differs (phantoms under TrustAll), so do
-	// the walk directly over claimed neighbors.
+	// the walk directly over claimed neighbors. The queue here is a
+	// stable-sorted list (small graphs: simplicity over heap
+	// bookkeeping); the scratch struct only recycles the allocations.
+	sc := &db.scratch
+	sc.reset()
 	next = make(map[topology.NodeID]topology.NodeID)
 	dist = map[topology.NodeID]float64{src: 0}
-	prev := map[topology.NodeID]topology.NodeID{}
-	done := map[topology.NodeID]bool{}
-	q := pq{{src, 0}}
-	for q.Len() > 0 {
-		it := q[0]
-		q = q[1:]
+	prev, done := sc.prev, sc.done
+	q := append(sc.q[:0], item{src, 0})
+	head := 0
+	for head < len(q) {
+		it := q[head]
+		head++
 		if done[it.node] {
 			continue
 		}
-		// Re-sort (small graphs: simplicity over heap bookkeeping).
 		done[it.node] = true
 		ad := db.ads[it.node]
 		if ad == nil {
 			continue
 		}
-		nbrs := make([]topology.NodeID, 0, len(ad.Costs))
+		nbrs := db.nbrsScratch[:0]
 		for nb := range ad.Costs {
 			nbrs = append(nbrs, nb)
 		}
+		db.nbrsScratch = nbrs
 		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
 		for _, nb := range nbrs {
 			c, ok := db.EffectiveCost(it.node, nb)
@@ -192,8 +202,9 @@ func (db *AdDatabase) SPF(src topology.NodeID) (next map[topology.NodeID]topolog
 				q = append(q, item{nb, nd})
 			}
 		}
-		sort.SliceStable(q, func(i, j int) bool { return q[i].dist < q[j].dist })
+		sort.SliceStable(q[head:], func(i, j int) bool { return q[head+i].dist < q[head+j].dist })
 	}
+	sc.q = q[:0]
 	for dst := range dist {
 		if dst == src {
 			continue

@@ -7,7 +7,6 @@
 package linkstate
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/packet"
@@ -16,11 +15,18 @@ import (
 
 // Database is the flooded link-state database: the complete, public view
 // of the network's links and costs.
+//
+// The embedded SPF scratch space makes repeated SPF/Compute calls cheap
+// but means a Database must not be shared across goroutines. Parallelism
+// in this repository is across independent simulations, each with its own
+// Database (see experiments.RunAll).
 type Database struct {
 	g *topology.Graph
 	// Overrides lets a node advertise a different cost on a link
 	// (traffic engineering — a visible tussle move).
 	Overrides map[[2]topology.NodeID]float64
+
+	scratch spfScratch
 }
 
 // NewDatabase builds a database over the topology.
@@ -62,32 +68,83 @@ type item struct {
 	dist float64
 }
 
+// pq is a binary min-heap of items ordered by dist. It is sifted manually
+// (not via container/heap) so pushes never box items into interfaces.
 type pq []item
 
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(item)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	*p = old[:n-1]
-	return it
+func (p pq) push(it item) pq {
+	p = append(p, it)
+	i := len(p) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if p[parent].dist <= p[i].dist {
+			break
+		}
+		p[i], p[parent] = p[parent], p[i]
+		i = parent
+	}
+	return p
+}
+
+func (p pq) pop() (item, pq) {
+	it := p[0]
+	n := len(p) - 1
+	p[0] = p[n]
+	p = p[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && p[r].dist < p[l].dist {
+			m = r
+		}
+		if p[i].dist <= p[m].dist {
+			break
+		}
+		p[i], p[m] = p[m], p[i]
+		i = m
+	}
+	return it, p
+}
+
+// spfScratch holds Dijkstra working state reused across SPF calls so
+// repeated route computations (Compute builds one table per node) do not
+// reallocate the priority queue and bookkeeping maps every call. The
+// returned next/dist maps escape to callers and are always fresh.
+type spfScratch struct {
+	q    pq
+	prev map[topology.NodeID]topology.NodeID
+	done map[topology.NodeID]bool
+}
+
+func (sc *spfScratch) reset() {
+	if sc.prev == nil {
+		sc.prev = make(map[topology.NodeID]topology.NodeID)
+		sc.done = make(map[topology.NodeID]bool)
+	} else {
+		clear(sc.prev)
+		clear(sc.done)
+	}
+	sc.q = sc.q[:0]
 }
 
 // SPF runs Dijkstra from src over the database and returns, for every
 // reachable destination, the next hop and total cost.
 func (db *Database) SPF(src topology.NodeID) (next map[topology.NodeID]topology.NodeID, dist map[topology.NodeID]float64) {
+	sc := &db.scratch
+	sc.reset()
 	next = make(map[topology.NodeID]topology.NodeID)
 	dist = make(map[topology.NodeID]float64)
-	prev := make(map[topology.NodeID]topology.NodeID)
+	prev, done := sc.prev, sc.done
 	const inf = math.MaxFloat64
 	dist[src] = 0
-	q := pq{{src, 0}}
-	done := make(map[topology.NodeID]bool)
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(item)
+	q := sc.q.push(item{src, 0})
+	var it item
+	for len(q) > 0 {
+		it, q = q.pop()
 		if done[it.node] {
 			continue
 		}
@@ -105,10 +162,11 @@ func (db *Database) SPF(src topology.NodeID) (next map[topology.NodeID]topology.
 			if nd < cur {
 				dist[nb] = nd
 				prev[nb] = it.node
-				heap.Push(&q, item{nb, nd})
+				q = q.push(item{nb, nd})
 			}
 		}
 	}
+	sc.q = q // keep the grown backing array for the next call
 	for dst := range dist {
 		if dst == src {
 			continue

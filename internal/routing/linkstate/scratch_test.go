@@ -1,0 +1,86 @@
+package linkstate
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Repeated SPF calls on one Database reuse scratch state; every call must
+// nonetheless return results identical to a fresh database's, including
+// after cost changes between calls.
+func TestSPFScratchReuseIsStateless(t *testing.T) {
+	g := topology.GenerateHierarchy(topology.DefaultHierarchy(), sim.NewRNG(3))
+	db := NewDatabase(g)
+	for round := 0; round < 3; round++ {
+		for _, src := range g.NodeIDs() {
+			next, dist := db.SPF(src)
+			freshNext, freshDist := NewDatabase(g).SPF(src)
+			if !reflect.DeepEqual(next, freshNext) || !reflect.DeepEqual(dist, freshDist) {
+				t.Fatalf("round %d src %d: reused-scratch SPF diverged from fresh database", round, src)
+			}
+		}
+	}
+	// A cost override between calls must be reflected, not masked by
+	// stale scratch state.
+	ids := g.NodeIDs()
+	a := ids[0]
+	db.SPF(a)
+	for _, nb := range g.Neighbors(a) {
+		db.SetCost(a, nb, 1e6)
+	}
+	_, dist := db.SPF(a)
+	fresh := NewDatabase(g)
+	for _, nb := range g.Neighbors(a) {
+		fresh.SetCost(a, nb, 1e6)
+	}
+	_, freshDist := fresh.SPF(a)
+	if !reflect.DeepEqual(dist, freshDist) {
+		t.Fatal("SPF after SetCost diverged from fresh database with same overrides")
+	}
+}
+
+// Compute (one SPF per node) should not allocate the Dijkstra queue or
+// bookkeeping maps per call once scratch has warmed up — only the
+// returned tables themselves.
+func TestSPFScratchReducesAllocs(t *testing.T) {
+	g := topology.GenerateHierarchy(topology.DefaultHierarchy(), sim.NewRNG(3))
+	db := NewDatabase(g)
+	src := g.NodeIDs()[0]
+	db.SPF(src) // warm scratch
+	warm := testing.AllocsPerRun(50, func() { db.SPF(src) })
+	cold := testing.AllocsPerRun(50, func() { NewDatabase(g).SPF(src) })
+	if warm >= cold {
+		t.Fatalf("scratch reuse saved nothing: warm %.0f allocs/op vs cold %.0f", warm, cold)
+	}
+}
+
+// AdDatabase.SPF with scratch reuse must match a fresh AdDatabase fed the
+// same advertisements.
+func TestAdSPFScratchReuseIsStateless(t *testing.T) {
+	g := topology.GenerateHierarchy(topology.DefaultHierarchy(), sim.NewRNG(5))
+	rng := sim.NewRNG(11)
+	keys := GenerateKeys(g, rng)
+	flood := func(db *AdDatabase) {
+		for _, id := range g.NodeIDs() {
+			ad := HonestAdvertisement(g, id)
+			ad.Sign(keys[id])
+			db.Flood(ad)
+		}
+	}
+	db := NewAdDatabase(g, SignedTwoSided, keys)
+	flood(db)
+	for round := 0; round < 3; round++ {
+		for _, src := range g.NodeIDs() {
+			next, dist := db.SPF(src)
+			fresh := NewAdDatabase(g, SignedTwoSided, keys)
+			flood(fresh)
+			freshNext, freshDist := fresh.SPF(src)
+			if !reflect.DeepEqual(next, freshNext) || !reflect.DeepEqual(dist, freshDist) {
+				t.Fatalf("round %d src %d: reused-scratch AdDatabase SPF diverged", round, src)
+			}
+		}
+	}
+}

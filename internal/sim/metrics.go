@@ -7,15 +7,39 @@ import (
 
 // Series accumulates scalar observations and computes summary statistics.
 // It is the workhorse for experiment metrics throughout the repository.
+//
+// Order statistics (Percentile, Gini) are served from a sorted cache that
+// is invalidated by Add and rebuilt at most once between Adds, so bursts
+// of statistic calls cost one sort instead of one sort each. Min and Max
+// are maintained incrementally and never sort at all.
 type Series struct {
 	vals []float64
 	sum  float64
+	min  float64
+	max  float64
+
+	// sorted caches the observations in ascending order; valid only when
+	// dirty is false and the series is non-empty. The buffer is reused
+	// across rebuilds.
+	sorted []float64
+	dirty  bool
 }
 
 // Add records one observation.
 func (s *Series) Add(v float64) {
+	if len(s.vals) == 0 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
 	s.vals = append(s.vals, v)
 	s.sum += v
+	s.dirty = true
 }
 
 // N returns the number of observations.
@@ -51,35 +75,39 @@ func (s *Series) Stddev() float64 { return math.Sqrt(s.Var()) }
 
 // Min returns the minimum observation, or +Inf for an empty series.
 func (s *Series) Min() float64 {
-	min := math.Inf(1)
-	for _, v := range s.vals {
-		if v < min {
-			min = v
-		}
+	if len(s.vals) == 0 {
+		return math.Inf(1)
 	}
-	return min
+	return s.min
 }
 
 // Max returns the maximum observation, or -Inf for an empty series.
 func (s *Series) Max() float64 {
-	max := math.Inf(-1)
-	for _, v := range s.vals {
-		if v > max {
-			max = v
-		}
+	if len(s.vals) == 0 {
+		return math.Inf(-1)
 	}
-	return max
+	return s.max
 }
 
-// Percentile returns the p-th percentile (0..100) using nearest-rank on a
-// sorted copy. Returns 0 for an empty series.
+// sortedVals returns the observations in ascending order, rebuilding the
+// cache only if observations were added since the last rebuild. Callers
+// must not mutate the returned slice.
+func (s *Series) sortedVals() []float64 {
+	if s.dirty {
+		s.sorted = append(s.sorted[:0], s.vals...)
+		sort.Float64s(s.sorted)
+		s.dirty = false
+	}
+	return s.sorted
+}
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank over
+// the sorted cache. Returns 0 for an empty series.
 func (s *Series) Percentile(p float64) float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
-	sorted := make([]float64, len(s.vals))
-	copy(sorted, s.vals)
-	sort.Float64s(sorted)
+	sorted := s.sortedVals()
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -108,11 +136,8 @@ func (s *Series) Gini() float64 {
 	if n == 0 || s.sum == 0 {
 		return 0
 	}
-	sorted := make([]float64, n)
-	copy(sorted, s.vals)
-	sort.Float64s(sorted)
 	var cum float64
-	for i, v := range sorted {
+	for i, v := range s.sortedVals() {
 		cum += v * float64(2*(i+1)-n-1)
 	}
 	return cum / (float64(n) * s.sum)

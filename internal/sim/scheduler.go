@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -37,44 +36,57 @@ func (t Time) String() string {
 // FromSeconds converts seconds to simulated Time.
 func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 
-// Event is a scheduled callback.
+// event is one slot in the scheduler's event pool. Slots are recycled
+// through a free list; gen increments on every release so stale EventIDs
+// (and stale heap entries) can never touch a recycled slot's new tenant.
 type event struct {
 	at   Time
-	seq  uint64 // tie-breaker: FIFO among same-time events
+	seq  uint64 // tie-breaker: FIFO among same-time events; globally unique
 	fn   func()
-	dead bool
+	gen  uint32
+	live bool
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// value is valid and refers to no event.
+type EventID struct {
+	slot uint32 // pool index + 1; 0 means "no event"
+	gen  uint32
+}
 
-type eventHeap []*event
+// heapEntry is one element of the scheduler's binary heap. The ordering
+// key (at, seq) is stored inline so comparisons never chase a pointer,
+// and seq doubles as the liveness check against the pool slot: a slot
+// recycled since this entry was pushed carries a different seq.
+type heapEntry struct {
+	at   Time
+	seq  uint64
+	slot uint32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Scheduler is a discrete-event simulation loop: events execute in
 // timestamp order, ties broken by scheduling order. It is single-threaded
-// by design — determinism is the point.
+// by design — determinism is the point. Parallelism in this repository is
+// always across independent simulations (see experiments.RunAll), never
+// within one.
+//
+// Events live in a slot pool recycled through a free list, so a
+// steady-state simulation schedules events with zero heap allocations
+// once the pool has grown to the high-water mark.
 type Scheduler struct {
 	now     Time
 	seq     uint64
-	queue   eventHeap
+	events  []event     // slot pool
+	free    []uint32    // recycled slot indices
+	queue   []heapEntry // binary min-heap by (at, seq)
+	dead    int         // cancelled events whose heap entries are not yet drained
 	stopped bool
 
 	// Processed counts events executed, for loop-detection and stats.
@@ -89,9 +101,30 @@ func NewScheduler() *Scheduler {
 // Now returns the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// Pending reports the number of events waiting to run (including
-// cancelled events not yet drained).
-func (s *Scheduler) Pending() int { return len(s.queue) }
+// Pending reports the number of live events waiting to run. Cancelled
+// events are excluded even before their heap entries are drained.
+func (s *Scheduler) Pending() int { return len(s.queue) - s.dead }
+
+// acquire returns a slot index for a new event, recycling freed slots.
+func (s *Scheduler) acquire() uint32 {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return idx
+	}
+	s.events = append(s.events, event{})
+	return uint32(len(s.events) - 1)
+}
+
+// release recycles a slot, bumping its generation so outstanding
+// EventIDs for the old tenant become inert.
+func (s *Scheduler) release(idx uint32) {
+	ev := &s.events[idx]
+	ev.fn = nil
+	ev.live = false
+	ev.gen++
+	s.free = append(s.free, idx)
+}
 
 // At schedules fn at the absolute simulated time at. Scheduling in the past
 // panics: it would silently reorder causality.
@@ -99,10 +132,15 @@ func (s *Scheduler) At(at Time, fn func()) EventID {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	idx := s.acquire()
+	ev := &s.events[idx]
+	ev.at = at
+	ev.seq = s.seq
+	ev.fn = fn
+	ev.live = true
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return EventID{ev}
+	s.push(heapEntry{at: at, seq: ev.seq, slot: idx})
+	return EventID{slot: idx + 1, gen: ev.gen}
 }
 
 // After schedules fn after a delay from now.
@@ -114,10 +152,43 @@ func (s *Scheduler) After(d Time, fn func()) EventID {
 }
 
 // Cancel prevents a scheduled event from running. Cancelling an already-run
-// or already-cancelled event is a no-op.
+// or already-cancelled event is a no-op, as is cancelling the zero EventID.
+// The slot is recycled immediately; the heap entry is dropped lazily.
 func (s *Scheduler) Cancel(id EventID) {
-	if id.ev != nil {
-		id.ev.dead = true
+	if id.slot == 0 {
+		return
+	}
+	idx := id.slot - 1
+	if int(idx) >= len(s.events) {
+		return
+	}
+	ev := &s.events[idx]
+	if !ev.live || ev.gen != id.gen {
+		return
+	}
+	s.release(idx)
+	s.dead++
+	s.maybeCompact()
+}
+
+// maybeCompact rebuilds the heap without dead entries once they dominate,
+// so mass cancellation cannot pin memory for a whole run.
+func (s *Scheduler) maybeCompact() {
+	if s.dead <= 32 || s.dead*2 <= len(s.queue) {
+		return
+	}
+	kept := s.queue[:0]
+	for _, e := range s.queue {
+		ev := &s.events[e.slot]
+		if ev.live && ev.seq == e.seq {
+			kept = append(kept, e)
+		}
+	}
+	s.queue = kept
+	s.dead = 0
+	// Re-establish the heap invariant bottom-up.
+	for i := len(s.queue)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
 	}
 }
 
@@ -129,23 +200,54 @@ func (s *Scheduler) Run() {
 	s.RunUntil(Time(1<<62 - 1))
 }
 
+// popLive removes and returns the earliest live event's (time, callback),
+// draining any dead heap entries on the way. ok is false when no live
+// event remains.
+func (s *Scheduler) popLive() (at Time, fn func(), ok bool) {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		s.pop()
+		ev := &s.events[e.slot]
+		if !ev.live || ev.seq != e.seq {
+			s.dead--
+			continue
+		}
+		at, fn = ev.at, ev.fn
+		s.release(e.slot)
+		return at, fn, true
+	}
+	return 0, nil, false
+}
+
+// peekLive returns the timestamp of the earliest live event without
+// removing it, draining dead entries from the top of the heap.
+func (s *Scheduler) peekLive() (Time, bool) {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		ev := &s.events[e.slot]
+		if ev.live && ev.seq == e.seq {
+			return e.at, true
+		}
+		s.pop()
+		s.dead--
+	}
+	return 0, false
+}
+
 // RunUntil executes events with timestamps <= deadline, advances the clock
 // to deadline, and returns. Events scheduled beyond the deadline remain
 // queued.
 func (s *Scheduler) RunUntil(deadline Time) {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
-		ev := s.queue[0]
-		if ev.at > deadline {
+	for !s.stopped {
+		at, ok := s.peekLive()
+		if !ok || at > deadline {
 			break
 		}
-		heap.Pop(&s.queue)
-		if ev.dead {
-			continue
-		}
-		s.now = ev.at
+		_, fn, _ := s.popLive()
+		s.now = at
 		s.Processed++
-		ev.fn()
+		fn()
 	}
 	if !s.stopped && s.now < deadline && deadline < Time(1<<62-1) {
 		s.now = deadline
@@ -155,15 +257,56 @@ func (s *Scheduler) RunUntil(deadline Time) {
 // Step executes exactly one live event and returns true, or returns false
 // if the queue is empty.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		s.now = ev.at
-		s.Processed++
-		ev.fn()
-		return true
+	at, fn, ok := s.popLive()
+	if !ok {
+		return false
 	}
-	return false
+	s.now = at
+	s.Processed++
+	fn()
+	return true
+}
+
+// push adds an entry to the heap.
+func (s *Scheduler) push(e heapEntry) {
+	s.queue = append(s.queue, e)
+	// Sift up.
+	i := len(s.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(s.queue[i], s.queue[parent]) {
+			break
+		}
+		s.queue[i], s.queue[parent] = s.queue[parent], s.queue[i]
+		i = parent
+	}
+}
+
+// pop removes the minimum entry from the heap.
+func (s *Scheduler) pop() {
+	n := len(s.queue) - 1
+	s.queue[0] = s.queue[n]
+	s.queue = s.queue[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+}
+
+func (s *Scheduler) siftDown(i int) {
+	n := len(s.queue)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && entryLess(s.queue[r], s.queue[l]) {
+			m = r
+		}
+		if !entryLess(s.queue[m], s.queue[i]) {
+			return
+		}
+		s.queue[i], s.queue[m] = s.queue[m], s.queue[i]
+		i = m
+	}
 }

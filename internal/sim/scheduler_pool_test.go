@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"testing"
+)
+
+// Pending must report live events only — cancelled events are excluded
+// even while their heap entries await lazy draining (regression: the
+// pre-pool scheduler counted them).
+func TestSchedulerPendingExcludesCancelled(t *testing.T) {
+	s := NewScheduler()
+	ids := make([]EventID, 10)
+	for i := range ids {
+		ids[i] = s.At(Time(10+i), func() {})
+	}
+	if got := s.Pending(); got != 10 {
+		t.Fatalf("Pending = %d, want 10", got)
+	}
+	for i := 0; i < 4; i++ {
+		s.Cancel(ids[i])
+	}
+	if got := s.Pending(); got != 6 {
+		t.Fatalf("Pending after 4 cancels = %d, want 6", got)
+	}
+	// Double-cancel must not double-count.
+	s.Cancel(ids[0])
+	if got := s.Pending(); got != 6 {
+		t.Fatalf("Pending after double cancel = %d, want 6", got)
+	}
+	ran := 0
+	for s.Step() {
+		ran++
+	}
+	if ran != 6 {
+		t.Fatalf("ran %d events, want 6", ran)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+}
+
+// A stale EventID — one whose slot has been recycled by a later event —
+// must not cancel the slot's new tenant.
+func TestSchedulerStaleCancelIsInert(t *testing.T) {
+	s := NewScheduler()
+	stale := s.At(10, func() {})
+	s.Cancel(stale) // slot freed, generation bumped
+
+	ran := false
+	s.At(20, func() { ran = true }) // expected to recycle the freed slot
+
+	s.Cancel(stale) // stale id: same slot, old generation — must be a no-op
+	s.Run()
+	if !ran {
+		t.Fatal("stale Cancel killed an unrelated recycled event")
+	}
+}
+
+// Cancelling an event that already ran must not kill a later event that
+// recycled its slot.
+func TestSchedulerCancelAfterRunIsInert(t *testing.T) {
+	s := NewScheduler()
+	var id1 EventID
+	ran2 := false
+	id1 = s.At(10, func() {
+		// id1's slot is released before fn runs; this At may recycle it.
+		s.At(20, func() { ran2 = true })
+		s.Cancel(id1)
+	})
+	s.Run()
+	if !ran2 {
+		t.Fatal("Cancel of an already-run event killed a recycled event")
+	}
+}
+
+// Mass cancellation must trigger compaction so the heap does not pin
+// dead entries for the rest of the run.
+func TestSchedulerCompactionAfterMassCancel(t *testing.T) {
+	s := NewScheduler()
+	ids := make([]EventID, 1000)
+	for i := range ids {
+		ids[i] = s.At(Time(i+1), func() {})
+	}
+	for _, id := range ids[:900] {
+		s.Cancel(id)
+	}
+	if got := s.Pending(); got != 100 {
+		t.Fatalf("Pending = %d, want 100", got)
+	}
+	if len(s.queue) > 200 {
+		t.Fatalf("heap holds %d entries after mass cancel, want compaction to <= 200", len(s.queue))
+	}
+	ran := 0
+	for s.Step() {
+		ran++
+	}
+	if ran != 100 {
+		t.Fatalf("ran %d events, want 100", ran)
+	}
+}
+
+// Interleaved schedule/cancel/run must preserve timestamp-then-FIFO order
+// among surviving events.
+func TestSchedulerOrderWithCancellations(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	keep := func(n int) EventID { return s.At(Time(n), func() { order = append(order, n) }) }
+	keep(5)
+	c1 := keep(3)
+	keep(8)
+	c2 := keep(1)
+	keep(3) // same time as c1, later seq — must still run after nothing (c1 dead)
+	s.Cancel(c1)
+	s.Cancel(c2)
+	s.Run()
+	want := []int{3, 5, 8}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Steady-state scheduling must not allocate: slots and heap entries are
+// recycled once the pool reaches its high-water mark.
+func TestSchedulerSteadyStateAllocs(t *testing.T) {
+	s := NewScheduler()
+	fn := func() {}
+	// Warm the pool and heap to their high-water marks.
+	for i := 0; i < 64; i++ {
+		s.After(1, fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			s.After(1, fn)
+		}
+		s.Run()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state schedule+run allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// The zero EventID is valid and cancels nothing.
+func TestSchedulerCancelZeroID(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	s.At(1, func() { ran = true })
+	s.Cancel(EventID{})
+	s.Run()
+	if !ran {
+		t.Fatal("Cancel of zero EventID killed a live event")
+	}
+}
