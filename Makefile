@@ -20,10 +20,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One-iteration smoke of the suite benchmarks: catches regressions that
-# break the benches without paying for a full measurement run.
+# One-iteration smoke of the suite benchmarks, then a quick measurement
+# run compared against the committed baseline: catches regressions that
+# break the benches and ns/op regressions in the same pass. The gate's
+# default tolerance is 10% (see tussle-bench -compare); CI machines are
+# noisy and the fastest experiments run in microseconds, where scheduler
+# jitter alone moves ns/op by tens of percent, so this target loosens it
+# to 50% — still far below the multiples a real hot-path regression
+# produces.
 bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkAllExperiments' -benchtime=1x -benchmem .
+	$(GO) run ./cmd/tussle-bench -quiet -json /tmp/bench-smoke.json -iters 5 >/dev/null
+	$(GO) run ./cmd/tussle-bench -compare -tolerance 0.5 BENCH_suite.json /tmp/bench-smoke.json
 
 # Full benchmark pass over every per-experiment benchmark.
 bench:

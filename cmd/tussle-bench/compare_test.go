@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSuite(t *testing.T, dir, name string, exps []expBench) string {
+	t.Helper()
+	buf, err := json.Marshal(suiteBench{Seed: 42, Iters: 3, Experiments: exps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareSuitesDetectsRegression(t *testing.T) {
+	oldSB := &suiteBench{Experiments: []expBench{
+		{ID: "E1", NsPerOp: 1000, AllocsPerOp: 10},
+		{ID: "E2", NsPerOp: 2000, AllocsPerOp: 20},
+		{ID: "E3", NsPerOp: 4000, AllocsPerOp: 40},
+	}}
+	newSB := &suiteBench{Experiments: []expBench{
+		{ID: "E1", NsPerOp: 1050, AllocsPerOp: 10}, // +5%: within tolerance
+		{ID: "E2", NsPerOp: 2500, AllocsPerOp: 20}, // +25%: regression
+		{ID: "E3", NsPerOp: 3000, AllocsPerOp: 30}, // improvement
+		{ID: "E99", NsPerOp: 999, AllocsPerOp: 1},  // new experiment: never fails
+	}}
+	deltas, regressed := compareSuites(oldSB, newSB, 0.10)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %d, want 3 (E99 has no baseline)", len(deltas))
+	}
+	if len(regressed) != 1 || regressed[0].ID != "E2" {
+		t.Fatalf("regressed = %+v, want exactly E2", regressed)
+	}
+	// Deltas are sorted worst-first.
+	if deltas[0].ID != "E2" || deltas[2].ID != "E3" {
+		t.Fatalf("delta order = %s,%s,%s; want E2 first, E3 last",
+			deltas[0].ID, deltas[1].ID, deltas[2].ID)
+	}
+	// A looser tolerance passes the same pair.
+	if _, reg := compareSuites(oldSB, newSB, 0.30); len(reg) != 0 {
+		t.Fatalf("tolerance 0.30 still flags %+v", reg)
+	}
+}
+
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSuite(t, dir, "old.json", []expBench{
+		{ID: "E1", NsPerOp: 1000, AllocsPerOp: 100},
+	})
+	okPath := writeSuite(t, dir, "ok.json", []expBench{
+		{ID: "E1", NsPerOp: 1080, AllocsPerOp: 90},
+	})
+	badPath := writeSuite(t, dir, "bad.json", []expBench{
+		{ID: "E1", NsPerOp: 1500, AllocsPerOp: 90},
+	})
+
+	var out strings.Builder
+	if code := runCompare(&out, oldPath, okPath, 0.10); code != 0 {
+		t.Fatalf("ok compare exit = %d, want 0; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "OK: no ns/op regression") {
+		t.Fatalf("missing OK line:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := runCompare(&out, oldPath, badPath, 0.10); code != 1 {
+		t.Fatalf("regressed compare exit = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "E1") {
+		t.Fatalf("missing FAIL diagnostics:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := runCompare(&out, filepath.Join(dir, "missing.json"), okPath, 0.10); code != 2 {
+		t.Fatalf("missing-file compare exit = %d, want 2", code)
+	}
+}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	tussle-bench [-seed N] [-only E3,E11] [-quiet] [-parallel N] [-json FILE]
+//	tussle-bench -compare old.json new.json [-tolerance 0.10]
 //
 // Every run is deterministic for a given seed: the experiments are pure
 // functions of the seed, so -parallel changes only wall-clock time, never
@@ -13,6 +14,10 @@
 // allocs/op, bytes/op) plus sequential-vs-parallel suite wall time, and
 // writes the measurements as JSON — the repo's recorded perf baseline
 // (BENCH_suite.json by convention; see the Makefile bench-json target).
+//
+// -compare diffs two such JSON files and exits non-zero when any
+// experiment's ns/op regressed beyond -tolerance (default 10%). CI runs
+// it against the committed baseline; see the Makefile bench-smoke target.
 package main
 
 import (
@@ -71,15 +76,24 @@ func benchSuite(seed uint64, iters, parallelism int) suiteBench {
 		exp.Run(seed) // warm caches and pools out of the measurement
 		runtime.GC()
 		runtime.ReadMemStats(&m0)
-		t0 := time.Now()
+		// ns/op is the minimum across iterations, not the mean: timing
+		// noise (scheduler preemption, GC, neighbors on the machine) is
+		// strictly additive, so the minimum is the robust estimate of an
+		// experiment's true cost and keeps the -compare regression gate
+		// from flaking on load spikes. Alloc counts are deterministic per
+		// run, so the mean is exact for them.
+		var minNs int64
 		for i := 0; i < iters; i++ {
+			t0 := time.Now()
 			exp.Run(seed)
+			if el := time.Since(t0).Nanoseconds(); i == 0 || el < minNs {
+				minNs = el
+			}
 		}
-		el := time.Since(t0)
 		runtime.ReadMemStats(&m1)
 		sb.Experiments = append(sb.Experiments, expBench{
 			ID:          exp.ID,
-			NsPerOp:     el.Nanoseconds() / int64(iters),
+			NsPerOp:     minNs,
 			AllocsPerOp: (m1.Mallocs - m0.Mallocs) / uint64(iters),
 			BytesPerOp:  (m1.TotalAlloc - m0.TotalAlloc) / uint64(iters),
 		})
@@ -108,7 +122,17 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines for the suite (0 = GOMAXPROCS, 1 = sequential)")
 	jsonPath := flag.String("json", "", "also micro-benchmark every experiment and write JSON to this file (e.g. BENCH_suite.json)")
 	iters := flag.Int("iters", 3, "iterations per experiment for -json measurements")
+	compare := flag.Bool("compare", false, "compare two bench JSON files (old new); exit non-zero on ns/op regression")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op growth per experiment for -compare")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "tussle-bench: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *tolerance))
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

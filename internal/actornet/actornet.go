@@ -53,7 +53,14 @@ type Network struct {
 	actors map[string]*Actor
 	// align[a][b] in [0,1] measures the commitment between two actors.
 	align map[string]map[string]float64
-	Round int
+	// actorList mirrors the keys of actors in ascending order, and nbr
+	// mirrors each actor's alignment partners in ascending order. Both
+	// are maintained incrementally on insert, so the per-round dynamics
+	// (Step, Durability) iterate in the same deterministic order as a
+	// fresh sort without sorting — or allocating — on every call.
+	actorList []string
+	nbr       map[string][]string
+	Round     int
 
 	// HarmonizationRate is how fast aligned pairs converge per round.
 	HarmonizationRate float64
@@ -74,6 +81,7 @@ func New(rng *sim.RNG) *Network {
 		rng:               rng,
 		actors:            make(map[string]*Actor),
 		align:             make(map[string]map[string]float64),
+		nbr:               make(map[string][]string),
 		HarmonizationRate: 0.05,
 		Perturbation:      0.35,
 	}
@@ -87,7 +95,17 @@ func (n *Network) AddActor(name string, kind Kind) *Actor {
 	a := &Actor{Name: name, Kind: kind, Joined: n.Round}
 	n.actors[name] = a
 	n.align[name] = make(map[string]float64)
+	n.actorList = insertSorted(n.actorList, name)
 	return a
+}
+
+// insertSorted inserts s into the ascending slice xs.
+func insertSorted(xs []string, s string) []string {
+	i := sort.SearchStrings(xs, s)
+	xs = append(xs, "")
+	copy(xs[i+1:], xs[i:])
+	xs[i] = s
+	return xs
 }
 
 // Align sets the mutual alignment between two actors.
@@ -98,6 +116,10 @@ func (n *Network) Align(a, b string, v float64) {
 	if v > 1 {
 		v = 1
 	}
+	if _, known := n.align[a][b]; !known {
+		n.nbr[a] = insertSorted(n.nbr[a], b)
+		n.nbr[b] = insertSorted(n.nbr[b], a)
+	}
 	n.align[a][b] = v
 	n.align[b][a] = v
 }
@@ -105,31 +127,25 @@ func (n *Network) Align(a, b string, v float64) {
 // Alignment returns the current alignment between two actors.
 func (n *Network) Alignment(a, b string) float64 { return n.align[a][b] }
 
-// Actors returns the actor names in deterministic order.
+// Actors returns the actor names in deterministic (ascending) order. The
+// returned slice is a copy; internal code iterates the cache directly.
 func (n *Network) Actors() []string {
-	out := make([]string, 0, len(n.actors))
-	for name := range n.actors {
-		out = append(out, name)
-	}
-	sort.Strings(out)
+	out := make([]string, len(n.actorList))
+	copy(out, n.actorList)
 	return out
 }
 
-// neighbors returns a's alignment partners in deterministic order.
+// neighbors returns a's alignment partners in deterministic (ascending)
+// order. The returned slice is the live cache: callers must not mutate it.
 func (n *Network) neighbors(a string) []string {
-	out := make([]string, 0, len(n.align[a]))
-	for other := range n.align[a] {
-		out = append(out, other)
-	}
-	sort.Strings(out)
-	return out
+	return n.nbr[a]
 }
 
 // Durability is the mean alignment across all edges — the Latour
 // "society made durable" metric. An edgeless network has durability 0.
 func (n *Network) Durability() float64 {
 	total, count := 0.0, 0
-	for _, name := range n.Actors() {
+	for _, name := range n.actorList {
 		for _, other := range n.neighbors(name) {
 			if other > name { // count each edge once
 				total += n.align[name][other]
@@ -150,7 +166,7 @@ func (n *Network) Durability() float64 {
 func (n *Network) Step(entryRate float64) {
 	n.Round++
 	// Harmonization: all existing edges drift toward 1.
-	for _, name := range n.Actors() {
+	for _, name := range n.actorList {
 		for _, other := range n.neighbors(name) {
 			if other > name {
 				nv := n.align[name][other] + n.HarmonizationRate*(1-n.align[name][other])
@@ -173,7 +189,7 @@ func (n *Network) enter() {
 	name := fmt.Sprintf("entrant-%d", n.entrySeq)
 	kinds := []Kind{Human, Technology, Institution}
 	a := n.AddActor(name, kinds[n.rng.Intn(len(kinds))])
-	existing := n.Actors()
+	existing := n.actorList
 	attach := 3
 	if attach > len(existing)-1 {
 		attach = len(existing) - 1

@@ -1,6 +1,10 @@
 package experiments
 
 import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"testing"
@@ -56,6 +60,66 @@ func TestRegistryIDsMatchResults(t *testing.T) {
 		if r.ID != e.ID {
 			t.Fatalf("registry[%d] registered as %s but result says %s", i, e.ID, r.ID)
 		}
+	}
+}
+
+// The rendered suite must be byte-identical to the committed golden
+// files for the canonical seeds. This pins the full output surface —
+// every table cell, finding, and formatting choice across all 26
+// experiments — so any refactor of the simulation hot path (netsim's
+// forwarding fast path in particular) that changes a single byte of
+// behavior fails loudly. Regenerate a golden only for an intentional
+// behavior change:
+//
+//	go run ./cmd/tussle-bench -seed 42 > internal/experiments/testdata/suite_seed42.golden
+//	go run ./cmd/tussle-bench -seed 7  > internal/experiments/testdata/suite_seed7.golden
+func TestSuiteOutputMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite golden check is slow")
+	}
+	for _, tc := range []struct {
+		seed   uint64
+		golden string
+	}{
+		{42, "suite_seed42.golden"},
+		{7, "suite_seed7.golden"},
+	} {
+		t.Run(fmt.Sprintf("seed%d", tc.seed), func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			for _, r := range RunAll(tc.seed, Options{Parallelism: 1}) {
+				r.Render(&buf)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				got := buf.Bytes()
+				// Locate the first divergent byte for a usable failure
+				// message instead of dumping 21KB of table.
+				n := len(got)
+				if len(want) < n {
+					n = len(want)
+				}
+				i := 0
+				for i < n && got[i] == want[i] {
+					i++
+				}
+				lo := i - 80
+				if lo < 0 {
+					lo = 0
+				}
+				hiG, hiW := i+80, i+80
+				if hiG > len(got) {
+					hiG = len(got)
+				}
+				if hiW > len(want) {
+					hiW = len(want)
+				}
+				t.Fatalf("seed %d output diverges from %s at byte %d\n got: %q\nwant: %q",
+					tc.seed, tc.golden, i, got[lo:hiG], want[lo:hiW])
+			}
+		})
 	}
 }
 

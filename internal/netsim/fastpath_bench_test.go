@@ -1,0 +1,114 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Micro-benchmarks for the forwarding fast path, independent of the
+// experiment suite: they give the per-hop loop its own ns/op and
+// allocs/op baseline. BenchmarkForwardChain is the zero-alloc proof for
+// the steady-state hop — allocs/op is the fixed per-packet cost (Trace +
+// event slab) and does not grow with chain length; see
+// TestForwardHopZeroAlloc for the pinned invariant.
+
+// benchChain returns a ready chain network and a pristine packet that
+// crosses it end to end.
+func benchChain(b *testing.B, nodes int) (*Network, *sim.Scheduler, []byte) {
+	b.Helper()
+	n, sched := linearNet(b, nodes)
+	n.TraceEventCap = nodes + 2
+	return n, sched, rawPacket(b, 1, topology.NodeID(nodes), uint8(nodes+8), 256)
+}
+
+// BenchmarkForwardChain is one packet traversing a 16-hop chain with no
+// middleboxes: pure decode-once forwarding, dense link lookups, pooled
+// flight scheduling.
+func BenchmarkForwardChain(b *testing.B) {
+	n, sched, pristine := benchChain(b, 16)
+	buf := make([]byte, len(pristine))
+	copy(buf, pristine)
+	tr := n.Send(1, buf)
+	sched.Run() // warm pools
+	if !tr.Delivered {
+		b.Fatalf("drop: %s", tr.DropReason)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, pristine)
+		tr := n.Send(1, buf)
+		sched.Run()
+		if !tr.Delivered {
+			b.Fatalf("drop: %s", tr.DropReason)
+		}
+	}
+}
+
+// passBox is a pass-through middlebox (returns nil: the "unmodified"
+// contract), so the chain exercises dispatch cost without re-decodes.
+type passBox struct{ name string }
+
+func (p *passBox) Name() string { return p.name }
+func (p *passBox) Silent() bool { return false }
+func (p *passBox) Process(node topology.NodeID, dir Direction, data []byte) ([]byte, Verdict) {
+	return nil, Accept
+}
+
+// BenchmarkMiddleboxChain runs the same 16-hop chain with three
+// pass-through middleboxes per node: the cost of middlebox dispatch on
+// every hop when no device transforms or drops.
+func BenchmarkMiddleboxChain(b *testing.B) {
+	n, sched, pristine := benchChain(b, 16)
+	for id := topology.NodeID(1); id <= 16; id++ {
+		nd := n.Node(id)
+		nd.AddMiddlebox(&passBox{name: "a"})
+		nd.AddMiddlebox(&passBox{name: "b"})
+		nd.AddMiddlebox(&passBox{name: "c"})
+	}
+	buf := make([]byte, len(pristine))
+	copy(buf, pristine)
+	tr := n.Send(1, buf)
+	sched.Run()
+	if !tr.Delivered {
+		b.Fatalf("drop: %s", tr.DropReason)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, pristine)
+		tr := n.Send(1, buf)
+		sched.Run()
+		if !tr.Delivered {
+			b.Fatalf("drop: %s", tr.DropReason)
+		}
+	}
+}
+
+// BenchmarkTransmitQueue saturates one slow link with bursts: the
+// serialization/backlog arithmetic and the queue-overflow drop path
+// (including interned drop counters).
+func BenchmarkTransmitQueue(b *testing.B) {
+	n, sched := linearNet(b, 2)
+	n.LinkRate = 1e4
+	n.MaxQueue = 10 * sim.Millisecond
+	pristine := rawPacket(b, 1, 2, 8, 64)
+	bufs := make([][]byte, 16)
+	for i := range bufs {
+		bufs[i] = make([]byte, len(pristine))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, buf := range bufs {
+			copy(buf, pristine)
+			n.Send(1, buf)
+		}
+		sched.Run()
+	}
+	if n.Dropped == 0 {
+		b.Fatal("burst never overflowed the queue")
+	}
+}

@@ -1,0 +1,356 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// This file pins the forwarding fast-path invariants: zero-allocation
+// steady-state hops, decoded-header/bytes coherence across middlebox
+// transforms, single-pass middlebox chain semantics, the queue-overflow
+// admission bound, silent-drop diagnostics, and dense link-table
+// invalidation.
+
+// linearNet builds an n-node chain with static shortest-path routing.
+func linearNet(tb testing.TB, nodes int) (*Network, *sim.Scheduler) {
+	tb.Helper()
+	sched := sim.NewScheduler()
+	g := topology.Linear(nodes, sim.Millisecond)
+	n := New(sched, g)
+	for id := topology.NodeID(1); id <= topology.NodeID(nodes); id++ {
+		id := id
+		n.Node(id).Route = func(dst packet.Addr, tip *packet.TIP) (topology.NodeID, bool) {
+			d := topology.NodeID(dst.Provider())
+			switch {
+			case d == id:
+				return id, true
+			case d > id:
+				return id + 1, true
+			default:
+				return id - 1, true
+			}
+		}
+	}
+	return n, sched
+}
+
+func rawPacket(tb testing.TB, src, dst topology.NodeID, ttl uint8, payload int) []byte {
+	tb.Helper()
+	data, err := packet.Serialize(
+		&packet.TIP{TTL: ttl, Proto: packet.LayerTypeRaw,
+			Src: packet.MakeAddr(uint16(src), 1), Dst: packet.MakeAddr(uint16(dst), 1)},
+		&packet.Raw{Data: make([]byte, payload)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// sendAllocs measures steady-state allocations for one full packet
+// lifetime across a chain of the given length.
+func sendAllocs(t *testing.T, nodes int) float64 {
+	n, sched := linearNet(t, nodes)
+	n.TraceEventCap = nodes + 2
+	pristine := rawPacket(t, 1, topology.NodeID(nodes), uint8(nodes+8), 64)
+	buf := make([]byte, len(pristine))
+	send := func() {
+		copy(buf, pristine) // restore the TTL the previous run decremented
+		tr := n.Send(1, buf)
+		sched.Run()
+		if !tr.Delivered {
+			t.Fatalf("drop on %d-node chain: %s", nodes, tr.DropReason)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		send() // warm the flight pool and scheduler slot pool
+	}
+	return testing.AllocsPerRun(100, send)
+}
+
+// A steady-state forward hop must not allocate: total allocations per
+// packet are a constant (trace + event slab), independent of path length.
+func TestForwardHopZeroAlloc(t *testing.T) {
+	short := sendAllocs(t, 8)
+	long := sendAllocs(t, 40)
+	if long != short {
+		t.Fatalf("per-packet allocs grew with path length: %.1f on 8 nodes vs %.1f on 40 nodes — forward hop is not zero-alloc",
+			short, long)
+	}
+	// The per-packet constant: Trace struct + pre-sized event slab.
+	if short > 2 {
+		t.Fatalf("steady-state packet cost %.1f allocs, want <= 2 (Trace + event slab)", short)
+	}
+}
+
+// tagBox records every invocation: which direction it saw and how often
+// it ran.
+type tagBox struct {
+	name string
+	dirs []Direction
+}
+
+func (b *tagBox) Name() string { return b.name }
+func (b *tagBox) Silent() bool { return false }
+func (b *tagBox) Process(node topology.NodeID, dir Direction, data []byte) ([]byte, Verdict) {
+	b.dirs = append(b.dirs, dir)
+	return nil, Accept
+}
+
+// redirBox rewrites Dst once.
+type redirBox struct {
+	to   packet.Addr
+	runs int
+}
+
+func (r *redirBox) Name() string { return "redir" }
+func (r *redirBox) Silent() bool { return false }
+func (r *redirBox) Process(node topology.NodeID, dir Direction, data []byte) ([]byte, Verdict) {
+	r.runs++
+	var tip packet.TIP
+	if err := tip.DecodeFrom(data); err != nil || tip.Dst == r.to {
+		return nil, Accept
+	}
+	payload := make([]byte, len(tip.LayerPayload()))
+	copy(payload, tip.LayerPayload())
+	tip2 := tip
+	tip2.Dst = r.to
+	out, err := packet.Serialize(&tip2, &packet.Raw{Data: payload})
+	if err != nil {
+		return nil, Accept
+	}
+	return out, Accept
+}
+
+// The middlebox chain is single-pass: when a transform flips the packet's
+// direction mid-chain (Forwarding→Delivering here), devices later in the
+// chain see the new direction, but devices earlier in the chain are not
+// re-run under it.
+func TestMiddleboxChainSinglePassOnDirFlip(t *testing.T) {
+	n, sched := linearNet(t, 4)
+	before := &tagBox{name: "before"}
+	after := &tagBox{name: "after"}
+	nd := n.Node(3)
+	nd.AddMiddlebox(before)
+	nd.AddMiddlebox(&redirBox{to: packet.MakeAddr(3, 1)}) // transit→local
+	nd.AddMiddlebox(after)
+	tr := n.Send(1, rawPacket(t, 1, 4, 16, 8))
+	sched.Run()
+	if !tr.Delivered {
+		t.Fatalf("drop: %s", tr.DropReason)
+	}
+	if p := tr.Path(); p[len(p)-1] != 3 {
+		t.Fatalf("redirected packet terminated at %v, want node 3", p)
+	}
+	if len(before.dirs) != 1 || before.dirs[0] != Forwarding {
+		t.Fatalf("pre-transform box ran %v, want exactly one Forwarding pass (no re-run after the flip)", before.dirs)
+	}
+	if len(after.dirs) != 1 || after.dirs[0] != Delivering {
+		t.Fatalf("post-transform box ran %v, want exactly one Delivering pass", after.dirs)
+	}
+}
+
+// The reverse flip (Delivering→Forwarding): a transform at the packet's
+// destination re-addresses it elsewhere, and the packet forwards on —
+// still without re-running the earlier devices.
+func TestMiddleboxChainDirFlipToForwarding(t *testing.T) {
+	n, sched := linearNet(t, 4)
+	before := &tagBox{name: "before"}
+	nd := n.Node(3)
+	nd.AddMiddlebox(before)
+	nd.AddMiddlebox(&redirBox{to: packet.MakeAddr(4, 1)}) // local→transit
+	delivered := map[topology.NodeID]bool{}
+	for _, id := range []topology.NodeID{3, 4} {
+		id := id
+		n.Node(id).Deliver = func(nd *Node, tr *Trace, data []byte) { delivered[id] = true }
+	}
+	tr := n.Send(1, rawPacket(t, 1, 3, 16, 8))
+	sched.Run()
+	if !tr.Delivered || delivered[3] || !delivered[4] {
+		t.Fatalf("bounce failed: delivered=%v trace=%+v", delivered, tr)
+	}
+	if len(before.dirs) != 1 || before.dirs[0] != Delivering {
+		t.Fatalf("pre-transform box ran %v, want exactly one Delivering pass", before.dirs)
+	}
+}
+
+type silentBox struct{}
+
+func (silentBox) Name() string { return "covert-device" }
+func (silentBox) Silent() bool { return true }
+func (silentBox) Process(node topology.NodeID, dir Direction, data []byte) ([]byte, Verdict) {
+	return nil, Drop
+}
+
+// A silent middlebox drop must leave an anonymous loss: reason "lost",
+// no device name anywhere in the trace, but the path up to the loss
+// still inferable.
+func TestSilentDropTraceDiagnostics(t *testing.T) {
+	n, sched := linearNet(t, 4)
+	n.Node(3).AddMiddlebox(silentBox{})
+	tr := n.Send(1, rawPacket(t, 1, 4, 16, 8))
+	sched.Run()
+	if tr.Delivered {
+		t.Fatal("should have been dropped")
+	}
+	if tr.DropReason != "lost" || tr.DropNode != 3 {
+		t.Fatalf("drop = %q at %d, want \"lost\" at 3", tr.DropReason, tr.DropNode)
+	}
+	for _, e := range tr.Events {
+		if e.Action == "drop" && e.Detail != "lost" {
+			t.Fatalf("drop event leaked device identity: %+v", e)
+		}
+		if e.Detail == "covert-device" || e.Detail == "blocked:covert-device" {
+			t.Fatalf("trace leaked silent device name: %+v", e)
+		}
+	}
+	if got := n.Stats.Get("drop:lost"); got != 1 {
+		t.Fatalf("drop:lost counter = %d, want 1", got)
+	}
+}
+
+// Path and Latency on dropped packets: the path covers the nodes reached
+// (drop events excluded), and latency is zero because the packet never
+// completed its transit.
+func TestPathAndLatencyOnDroppedPackets(t *testing.T) {
+	n, sched := linearNet(t, 4)
+	// TTL expiry mid-path.
+	trTTL := n.Send(1, rawPacket(t, 1, 4, 2, 8))
+	// No route: strip node 2's routing.
+	sched.Run()
+	n.Node(2).Route = nil
+	trNoRoute := n.Send(1, rawPacket(t, 1, 4, 16, 8))
+	sched.Run()
+
+	if trTTL.DropReason != "ttl" {
+		t.Fatalf("drop reason = %q, want ttl", trTTL.DropReason)
+	}
+	wantPath := []topology.NodeID{1, 2}
+	if p := trTTL.Path(); len(p) != len(wantPath) || p[0] != 1 || p[1] != 2 {
+		t.Fatalf("ttl-drop path = %v, want %v (send + one forward)", p, wantPath)
+	}
+	if trTTL.Latency() != 0 {
+		t.Fatalf("dropped packet latency = %v, want 0", trTTL.Latency())
+	}
+	if trNoRoute.DropReason != "no-route" || trNoRoute.DropNode != 2 {
+		t.Fatalf("drop = %q at %d, want no-route at 2", trNoRoute.DropReason, trNoRoute.DropNode)
+	}
+	if trNoRoute.Latency() != 0 {
+		t.Fatalf("dropped packet latency = %v, want 0", trNoRoute.Latency())
+	}
+	if ev := trNoRoute.Events[len(trNoRoute.Events)-1]; ev.Action != "drop" || ev.Detail != "no-route" {
+		t.Fatalf("final event = %+v, want drop/no-route", ev)
+	}
+}
+
+// The queue-overflow admission rule: a packet is accepted only when the
+// backlog it leaves behind fits within MaxQueue, so the per-link backlog
+// never exceeds the bound.
+func TestQueueOverflowNeverExceedsBound(t *testing.T) {
+	n, sched := linearNet(t, 2)
+	n.LinkRate = 1e4 // 10 KB/s: tens of ms of serialization per packet
+	n.MaxQueue = 10 * sim.Millisecond
+	var traces []*Trace
+	for i := 0; i < 50; i++ {
+		traces = append(traces, n.Send(1, rawPacket(t, 1, 2, 8, 16)))
+	}
+	sched.Run()
+	accepted, dropped := 0, 0
+	for _, tr := range traces {
+		if tr.DropReason == "queue-overflow" {
+			dropped++
+		} else if tr.Delivered {
+			accepted++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("expected overflow drops on a saturated link")
+	}
+	// All sends happen at t=0, so each accepted packet stacked its full
+	// serialization time onto the backlog; the total must fit the bound.
+	pkt := rawPacket(t, 1, 2, 8, 16)
+	txTime := sim.Time(float64(len(pkt)) / n.LinkRate * float64(sim.Second))
+	if backlog := sim.Time(accepted) * txTime; backlog > n.MaxQueue {
+		t.Fatalf("accepted %d packets stack %v of backlog, exceeding MaxQueue %v", accepted, backlog, n.MaxQueue)
+	}
+	if want := int(n.MaxQueue / txTime); accepted != want {
+		t.Fatalf("accepted %d packets, want %d (floor(MaxQueue/txTime))", accepted, want)
+	}
+}
+
+// Links added to the Graph after the Network is built must become usable:
+// the dense link table notices the topology change and rebuilds, and
+// fault state set before the rebuild survives it.
+func TestLinkTableInvalidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	g := topology.Linear(3, sim.Millisecond)
+	n := New(sched, g)
+	for id := topology.NodeID(1); id <= 3; id++ {
+		id := id
+		n.Node(id).Route = func(dst packet.Addr, tip *packet.TIP) (topology.NodeID, bool) {
+			d := topology.NodeID(dst.Provider())
+			if d == id {
+				return id, true
+			}
+			if id == 1 && d == 3 {
+				return 3, true // prefer the shortcut once it exists
+			}
+			if d > id {
+				return id + 1, true
+			}
+			return id - 1, true
+		}
+	}
+	// Before the shortcut exists, 1→3 is a bad next hop.
+	tr := n.Send(1, rawPacket(t, 1, 3, 8, 8))
+	sched.Run()
+	if tr.DropReason != "bad-next-hop" {
+		t.Fatalf("pre-shortcut drop = %q, want bad-next-hop", tr.DropReason)
+	}
+	// Fail 1-2, then grow the topology behind the simulator's back.
+	n.FailLink(1, 2)
+	g.AddLink(1, 3, topology.PeerOf, sim.Millisecond, 1)
+	tr = n.Send(1, rawPacket(t, 1, 3, 8, 8))
+	sched.Run()
+	if !tr.Delivered {
+		t.Fatalf("post-shortcut send dropped: %s", tr.DropReason)
+	}
+	if p := tr.Path(); len(p) != 2 || p[1] != 3 {
+		t.Fatalf("path = %v, want direct 1→3", p)
+	}
+	// The explicit hook works too, and the fault set pre-rebuild held.
+	n.InvalidateTopology()
+	if !n.LinkFailed(1, 2) {
+		t.Fatal("fault state lost across rebuild")
+	}
+	tr = n.Send(1, rawPacket(t, 1, 2, 8, 8))
+	sched.Run()
+	if tr.DropReason != "link-down" {
+		t.Fatalf("failed link drop = %q, want link-down", tr.DropReason)
+	}
+	n.RestoreLink(1, 2)
+	tr = n.Send(1, rawPacket(t, 1, 2, 8, 8))
+	sched.Run()
+	if !tr.Delivered {
+		t.Fatalf("restored link still dropping: %s", tr.DropReason)
+	}
+}
+
+// A middlebox transform must leave the carried decoded header coherent
+// with the bytes: after a redirect, downstream routing (which reads the
+// decoded header) must follow the rewritten destination, and in-place
+// source-route advances must stay visible in both representations.
+func TestDecodedHeaderCoherenceAfterTransform(t *testing.T) {
+	n, sched := linearNet(t, 5)
+	n.Node(2).AddMiddlebox(&redirBox{to: packet.MakeAddr(5, 1)})
+	tr := n.Send(1, rawPacket(t, 1, 3, 16, 8))
+	sched.Run()
+	if !tr.Delivered {
+		t.Fatalf("drop: %s", tr.DropReason)
+	}
+	if p := tr.Path(); p[len(p)-1] != 5 {
+		t.Fatalf("routing ignored rewritten destination: path %v", p)
+	}
+}

@@ -14,17 +14,26 @@ import (
 // device only when it chooses not to be silent.
 
 // FailLink marks the link between a and b down in both directions.
-// Transit over a failed link drops with reason "link-down".
+// Transit over a failed link drops with reason "link-down". The failure
+// map is the source of truth; the dense link table's failure flags are a
+// mirror for the forwarding fast path and are refreshed here and on
+// every InvalidateTopology rebuild.
 func (n *Network) FailLink(a, b topology.NodeID) {
 	if n.failed == nil {
 		n.failed = make(map[[2]topology.NodeID]bool)
 	}
 	n.failed[linkKey(a, b)] = true
+	if li := n.linkIndex(a, b); li >= 0 {
+		n.lt.failed[li] = true
+	}
 }
 
 // RestoreLink brings a failed link back.
 func (n *Network) RestoreLink(a, b topology.NodeID) {
 	delete(n.failed, linkKey(a, b))
+	if li := n.linkIndex(a, b); li >= 0 {
+		n.lt.failed[li] = false
+	}
 }
 
 // LinkFailed reports whether the link is currently down.

@@ -10,6 +10,18 @@
 // in which case the trace records only an anonymous loss, reproducing the
 // diagnostic asymmetry the paper warns about ("some devices that impair
 // transparency may intentionally give no error information").
+//
+// # Forwarding fast path
+//
+// A packet in flight is carried by a pooled flight context: the TIP
+// header is decoded once at Send and the decoded form rides alongside the
+// bytes from hop to hop. The two representations are kept coherent — any
+// in-place byte patch (TTL decrement, source-route advance) is mirrored
+// into the decoded header, and a middlebox transform (non-nil return from
+// Process) forces a re-decode. Link lookups go through a dense per-node
+// adjacency table instead of the Graph's map, and each hop re-schedules
+// the flight's single preallocated closure, so a steady-state forward hop
+// (no transform, no drop) performs zero heap allocations.
 package netsim
 
 import (
@@ -59,12 +71,23 @@ const (
 // Middlebox inspects and possibly transforms or drops packets at a node.
 // Implementations live in internal/middlebox; the interface is defined
 // here so the simulator does not depend on them.
+//
+// A node's middlebox chain is single-pass: each device runs at most once
+// per packet per node, in installation order. If a transform rewrites the
+// destination so that the packet's direction flips (Delivering ↔
+// Forwarding), devices later in the chain observe the new direction, but
+// devices earlier in the chain are NOT re-run — a transform cannot route
+// a packet back through the filters it already passed.
 type Middlebox interface {
 	// Name identifies the device in traces (when it is not silent).
 	Name() string
 	// Process examines data and returns the bytes to continue with and
 	// a verdict. Returning different bytes models transformation (NAT,
-	// redirection, cache answer).
+	// redirection, cache answer). Returning nil bytes means "unmodified":
+	// the simulator keeps forwarding the original packet without
+	// re-decoding its headers, which is what keeps the fast path fast —
+	// implementations must return nil rather than an identical copy when
+	// they leave the packet alone.
 	Process(node topology.NodeID, dir Direction, data []byte) ([]byte, Verdict)
 	// Silent devices do not reveal themselves in drop reports.
 	Silent() bool
@@ -73,7 +96,9 @@ type Middlebox interface {
 // RouteFunc decides the next hop for a packet at a node. It receives the
 // destination and the decoded network header (for policy-sensitive
 // routing, e.g. ToS-aware or source-route-aware decisions). ok=false
-// means "no route".
+// means "no route". The *packet.TIP is owned by the simulator and valid
+// only for the duration of the call; implementations must not retain it
+// or its option structs.
 type RouteFunc func(dst packet.Addr, tip *packet.TIP) (topology.NodeID, bool)
 
 // DeliverFunc handles a packet that reached its destination node.
@@ -94,7 +119,8 @@ type Node struct {
 	// the provider honors source routes only when the packet carries a
 	// payment voucher.
 	RequirePaymentForSourceRoute bool
-	// Middleboxes are processed in order; any Drop wins.
+	// Middleboxes are processed in order; any Drop wins. See the
+	// Middlebox interface for the single-pass chain semantics.
 	Middleboxes []Middlebox
 	// Deliver handles locally-destined traffic (after middleboxes).
 	Deliver DeliverFunc
@@ -117,10 +143,23 @@ func (n *Node) RemoveMiddlebox(name string) bool {
 	return false
 }
 
-// linkState tracks per-link transmission backlog for serialization delay
-// and queue-overflow drops.
-type linkState struct {
-	busyUntil sim.Time
+// adjEntry is one neighbor in a node's dense adjacency row.
+type adjEntry struct {
+	to   topology.NodeID
+	link int32 // index into Graph.Links
+}
+
+// linkTable is the dense forwarding-plane view of the topology: per-node
+// adjacency rows (sorted by neighbor ID), per-directed-link transmission
+// backlog, and per-link failure flags. It is derived from the Graph at
+// construction and rebuilt whenever the Graph's link count changes (see
+// Network.InvalidateTopology); the failure map on Network remains the
+// source of truth for fault state across rebuilds.
+type linkTable struct {
+	adj    [][]adjEntry // indexed by NodeID
+	busy   []sim.Time   // indexed by 2*linkIdx (+1 for the B→A direction)
+	failed []bool       // indexed by linkIdx
+	nlinks int          // Graph.Links length at build time (staleness check)
 }
 
 // Network is the assembled simulator.
@@ -128,16 +167,35 @@ type Network struct {
 	Sched *sim.Scheduler
 	Graph *topology.Graph
 	nodes map[topology.NodeID]*Node
+	// nodesByID is the dense mirror of nodes for hot-path lookup.
+	nodesByID []*Node
 
 	// LinkRate is bytes/second of every link (serialization delay).
 	LinkRate float64
-	// MaxQueue is the maximum per-link backlog before tail drop.
+	// MaxQueue is the maximum per-link backlog (waiting plus in-service
+	// transmission time) a newly admitted packet may leave behind it. A
+	// packet is tail-dropped when admitting it would push the link's
+	// backlog beyond MaxQueue, so the bound is never exceeded.
 	MaxQueue sim.Time
 	// HopProcessing is fixed per-hop processing latency.
 	HopProcessing sim.Time
+	// TraceEventCap pre-sizes each Trace's event slab; traces longer
+	// than this grow by the usual append doubling. Tune it to the
+	// expected path length (send + hops + terminal) to keep steady-state
+	// forwarding allocation-free for longer paths.
+	TraceEventCap int
 
-	links  map[[2]topology.NodeID]*linkState
+	lt     linkTable
 	failed map[[2]topology.NodeID]bool
+
+	// flightFree recycles flight contexts between packets.
+	flightFree []*flight
+
+	// dropKeys/blockedKeys/malformedKeys intern hot-path counter and
+	// trace strings so drops do not concatenate on every packet.
+	dropKeys      *sim.KeyCache
+	blockedKeys   *sim.KeyCache
+	malformedKeys *sim.KeyCache
 
 	// Stats aggregates network-wide counters.
 	Stats sim.Counter
@@ -155,22 +213,109 @@ func New(sched *sim.Scheduler, g *topology.Graph) *Network {
 		LinkRate:      1e8, // 800 Mbit/s
 		MaxQueue:      100 * sim.Millisecond,
 		HopProcessing: 10 * sim.Microsecond,
-		links:         make(map[[2]topology.NodeID]*linkState),
+		TraceEventCap: 8,
 		Stats:         sim.Counter{},
+		dropKeys:      sim.NewKeyCache("drop:"),
+		blockedKeys:   sim.NewKeyCache("blocked:"),
+		malformedKeys: sim.NewKeyCache("malformed-after:"),
 	}
 	for id := range g.Nodes {
 		n.nodes[id] = &Node{ID: id, Net: n, Counters: sim.Counter{}}
 	}
+	n.InvalidateTopology()
 	return n
+}
+
+// InvalidateTopology rebuilds the dense adjacency/link-state table from
+// the Graph. It must be called after links are added to the Graph of a
+// live Network (adding links through the Graph directly does not notify
+// the simulator; as a backstop, the table also rebuilds itself when it
+// notices the Graph's link count changed). Per-link backlog is preserved
+// across rebuilds (link indices are append-only), and failure state is
+// re-derived from the FailLink map, so in-flight traffic and injected
+// faults survive a rebuild.
+func (n *Network) InvalidateTopology() {
+	g := n.Graph
+	maxID := topology.NodeID(0)
+	for id := range g.Nodes {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for _, l := range g.Links {
+		if l.A > maxID {
+			maxID = l.A
+		}
+		if l.B > maxID {
+			maxID = l.B
+		}
+	}
+	adj := make([][]adjEntry, maxID+1)
+	for i, l := range g.Links {
+		adj[l.A] = insertAdj(adj[l.A], adjEntry{to: l.B, link: int32(i)})
+		adj[l.B] = insertAdj(adj[l.B], adjEntry{to: l.A, link: int32(i)})
+	}
+	busy := make([]sim.Time, 2*len(g.Links))
+	copy(busy, n.lt.busy)
+	failed := make([]bool, len(g.Links))
+	for i, l := range g.Links {
+		if n.failed[linkKey(l.A, l.B)] {
+			failed[i] = true
+		}
+	}
+	n.lt = linkTable{adj: adj, busy: busy, failed: failed, nlinks: len(g.Links)}
+
+	nodesByID := make([]*Node, maxID+1)
+	for id, nd := range n.nodes {
+		if int(id) < len(nodesByID) {
+			nodesByID[id] = nd
+		}
+	}
+	n.nodesByID = nodesByID
+}
+
+// insertAdj inserts e into row keeping it sorted by neighbor ID, so
+// lookups and iteration stay deterministic.
+func insertAdj(row []adjEntry, e adjEntry) []adjEntry {
+	i := len(row)
+	for i > 0 && row[i-1].to > e.to {
+		i--
+	}
+	row = append(row, adjEntry{})
+	copy(row[i+1:], row[i:])
+	row[i] = e
+	return row
+}
+
+// linkIndex returns the Graph.Links index of the from→to adjacency, or
+// -1 when the nodes are not adjacent. It transparently rebuilds the dense
+// table if links were added behind the simulator's back.
+func (n *Network) linkIndex(from, to topology.NodeID) int32 {
+	if n.lt.nlinks != len(n.Graph.Links) {
+		n.InvalidateTopology()
+	}
+	if int(from) >= len(n.lt.adj) {
+		return -1
+	}
+	for _, e := range n.lt.adj[from] {
+		if e.to == to {
+			return e.link
+		}
+	}
+	return -1
 }
 
 // Node returns the node for id; it panics on unknown IDs (a wiring bug).
 func (n *Network) Node(id topology.NodeID) *Node {
-	nd, ok := n.nodes[id]
-	if !ok {
-		panic(fmt.Sprintf("netsim: unknown node %d", id))
+	if int(id) < len(n.nodesByID) {
+		if nd := n.nodesByID[id]; nd != nil {
+			return nd
+		}
 	}
-	return nd
+	if nd, ok := n.nodes[id]; ok {
+		return nd
+	}
+	panic(fmt.Sprintf("netsim: unknown node %d", id))
 }
 
 // TraceEvent is one step in a packet's life.
@@ -217,64 +362,117 @@ func (t *Trace) record(at sim.Time, node topology.NodeID, action, detail string)
 	t.Events = append(t.Events, TraceEvent{At: at, Node: node, Action: action, Detail: detail})
 }
 
+// flight carries one packet through the network: the bytes, the decoded
+// network header (kept coherent with the bytes — see the package
+// comment), the trace, and the node the packet is headed to. The struct
+// and its single scheduling closure are allocated once and recycled
+// through Network.flightFree, so per-hop scheduling allocates nothing.
+type flight struct {
+	net  *Network
+	t    *Trace
+	data []byte
+	tip  packet.TIP
+	node *Node
+	dir  Direction
+	run  func() // method value for f.step, created once per flight
+}
+
+// newFlight returns a recycled or fresh flight context.
+func (n *Network) newFlight() *flight {
+	if k := len(n.flightFree); k > 0 {
+		f := n.flightFree[k-1]
+		n.flightFree = n.flightFree[:k-1]
+		return f
+	}
+	f := &flight{net: n}
+	f.run = f.step
+	return f
+}
+
+// releaseFlight recycles a terminated flight. The decoded TIP keeps its
+// option structs so DecodeReuse on the next tenant is allocation-free.
+func (n *Network) releaseFlight(f *flight) {
+	f.t = nil
+	f.data = nil
+	f.node = nil
+	n.flightFree = append(n.flightFree, f)
+}
+
+// step runs the flight's packet through the node it has arrived at. It is
+// scheduled via f.run for every hop.
+func (f *flight) step() {
+	if f.dir == Sending {
+		f.t.record(f.net.Sched.Now(), f.node.ID, "send", "")
+		if err := f.tip.DecodeReuse(f.data); err != nil {
+			f.net.dropFlight(f, f.node.ID, "malformed")
+			return
+		}
+	}
+	f.node.process(f)
+}
+
 // Send injects a packet at node src. The returned Trace fills in as the
 // simulation runs; inspect it after the scheduler drains.
 func (n *Network) Send(src topology.NodeID, data []byte) *Trace {
-	t := &Trace{SentAt: n.Sched.Now()}
-	nd := n.Node(src)
-	n.Sched.After(0, func() {
-		t.record(n.Sched.Now(), src, "send", "")
-		nd.process(t, data, Sending, src)
-	})
+	t := &Trace{SentAt: n.Sched.Now(), Events: make([]TraceEvent, 0, n.TraceEventCap)}
+	f := n.newFlight()
+	f.t = t
+	f.data = data
+	f.node = n.Node(src)
+	f.dir = Sending
+	n.Sched.After(0, f.run)
 	return t
 }
 
 func (n *Network) drop(t *Trace, node topology.NodeID, reason string) {
 	n.Dropped++
-	n.Stats.Inc("drop:" + reason)
+	n.Stats.Inc(n.dropKeys.Key(reason))
 	t.DropNode = node
 	t.DropReason = reason
 	t.DoneAt = n.Sched.Now()
 	t.record(n.Sched.Now(), node, "drop", reason)
 }
 
+// dropFlight terminates a flight with a drop and recycles its context.
+func (n *Network) dropFlight(f *flight, node topology.NodeID, reason string) {
+	n.drop(f.t, node, reason)
+	n.releaseFlight(f)
+}
+
 // process runs a packet through a node: middleboxes, then delivery or
-// forwarding. ingress is the node the packet came from (== node for
-// locally originated traffic).
-func (nd *Node) process(t *Trace, data []byte, dir Direction, ingress topology.NodeID) {
+// forwarding. The flight's decoded header is trusted (no per-hop decode);
+// it is re-decoded only after a middlebox transform.
+func (nd *Node) process(f *flight) {
 	n := nd.Net
-	var tip packet.TIP
-	if err := tip.DecodeFrom(data); err != nil {
-		n.drop(t, nd.ID, "malformed")
-		return
-	}
+	dir := f.dir
 	if dir != Sending {
-		if tip.Dst.Provider() == uint16(nd.ID) {
+		if f.tip.Dst.Provider() == uint16(nd.ID) {
 			dir = Delivering
 		} else {
 			dir = Forwarding
 		}
 	}
-	// Middlebox chain.
+	// Middlebox chain (single-pass: see the Middlebox interface comment).
 	for _, m := range nd.Middleboxes {
-		out, verdict := m.Process(nd.ID, dir, data)
+		out, verdict := m.Process(nd.ID, dir, f.data)
 		if verdict == Drop {
 			nd.Counters.Inc("mbox_drop")
-			reason := "blocked:" + m.Name()
-			if m.Silent() {
-				reason = "lost"
+			reason := "lost"
+			if !m.Silent() {
+				reason = n.blockedKeys.Key(m.Name())
 			}
-			n.drop(t, nd.ID, reason)
+			n.dropFlight(f, nd.ID, reason)
 			return
 		}
 		if out != nil {
-			data = out
-			// Transformations may rewrite headers; re-decode.
-			if err := tip.DecodeFrom(data); err != nil {
-				n.drop(t, nd.ID, "malformed-after:"+m.Name())
+			f.data = out
+			// Transformations may rewrite headers; re-decode to restore
+			// bytes/decoded-header coherence.
+			if err := f.tip.DecodeReuse(out); err != nil {
+				n.dropFlight(f, nd.ID, n.malformedKeys.Key(m.Name()))
 				return
 			}
-			if tip.Dst.Provider() == uint16(nd.ID) {
+			if f.tip.Dst.Provider() == uint16(nd.ID) {
 				dir = Delivering
 			} else if dir == Delivering {
 				dir = Forwarding
@@ -283,46 +481,51 @@ func (nd *Node) process(t *Trace, data []byte, dir Direction, ingress topology.N
 	}
 	if dir == Delivering {
 		n.Delivered++
+		t := f.t
 		t.Delivered = true
 		t.DoneAt = n.Sched.Now()
 		t.record(n.Sched.Now(), nd.ID, "deliver", "")
 		nd.Counters.Inc("delivered")
 		if nd.Deliver != nil {
-			nd.Deliver(nd, t, data)
+			nd.Deliver(nd, t, f.data)
 		}
+		n.releaseFlight(f)
 		return
 	}
 	// Forwarding: TTL.
 	if dir == Forwarding {
-		ttl, err := packet.DecrementTTL(data)
+		ttl, err := packet.DecrementTTL(f.data)
 		if err != nil {
-			n.drop(t, nd.ID, "malformed")
+			n.dropFlight(f, nd.ID, "malformed")
 			return
 		}
+		f.tip.TTL = ttl // keep the decoded header coherent with the bytes
 		if ttl == 0 {
-			n.drop(t, nd.ID, "ttl")
+			n.dropFlight(f, nd.ID, "ttl")
 			return
 		}
-		t.record(n.Sched.Now(), nd.ID, "forward", "")
+		f.t.record(n.Sched.Now(), nd.ID, "forward", "")
 		nd.Counters.Inc("forwarded")
 	}
-	next, ok := nd.nextHop(&tip, data)
+	next, ok := nd.nextHop(f)
 	if !ok {
-		n.drop(t, nd.ID, "no-route")
+		n.dropFlight(f, nd.ID, "no-route")
 		return
 	}
-	if _, adjacent := n.Graph.LinkBetween(nd.ID, next); !adjacent {
-		n.drop(t, nd.ID, "bad-next-hop")
+	li := n.linkIndex(nd.ID, next)
+	if li < 0 {
+		n.dropFlight(f, nd.ID, "bad-next-hop")
 		return
 	}
-	n.transmit(t, nd.ID, next, data)
+	n.transmit(f, nd.ID, next, li)
 }
 
 // nextHop picks the egress neighbor, honoring source routes when the
 // node's policy allows it.
-func (nd *Node) nextHop(tip *packet.TIP, data []byte) (topology.NodeID, bool) {
+func (nd *Node) nextHop(f *flight) (topology.NodeID, bool) {
+	tip := &f.tip
 	if nd.HonorSourceRoutes {
-		if wp, ok := packet.PeekSourceRoute(data); ok {
+		if wp, ok := packet.PeekSourceRoute(f.data); ok {
 			allowed := true
 			if nd.RequirePaymentForSourceRoute && tip.Payment == nil {
 				allowed = false
@@ -331,8 +534,13 @@ func (nd *Node) nextHop(tip *packet.TIP, data []byte) (topology.NodeID, bool) {
 			if allowed {
 				if wp == packet.MakeAddr(uint16(nd.ID), 0) || wp.Provider() == uint16(nd.ID) {
 					// We are the current waypoint: advance to the next.
-					nxt, _, err := packet.AdvanceSourceRoute(data)
+					nxt, advanced, err := packet.AdvanceSourceRoute(f.data)
 					if err == nil {
+						// Mirror the in-place pointer bump into the
+						// decoded header (coherence rule).
+						if advanced && tip.SourceRoute != nil && !tip.SourceRoute.Exhausted() {
+							tip.SourceRoute.Ptr++
+						}
 						if nxt != packet.AddrNone {
 							wp = nxt
 						} else {
@@ -347,7 +555,7 @@ func (nd *Node) nextHop(tip *packet.TIP, data []byte) (topology.NodeID, bool) {
 				if target == nd.ID {
 					target = topology.NodeID(tip.Dst.Provider())
 				}
-				if _, adj := nd.Net.Graph.LinkBetween(nd.ID, target); adj {
+				if nd.Net.linkIndex(nd.ID, target) >= 0 {
 					return target, true
 				}
 				if nd.Route != nil {
@@ -363,35 +571,38 @@ func (nd *Node) nextHop(tip *packet.TIP, data []byte) (topology.NodeID, bool) {
 	return nd.Route(tip.Dst, tip)
 }
 
-// transmit models link serialization + propagation + queueing.
-func (n *Network) transmit(t *Trace, from, to topology.NodeID, data []byte) {
-	if n.LinkFailed(from, to) {
-		n.drop(t, from, "link-down")
+// transmit models link serialization + propagation + queueing. li is the
+// Graph.Links index of the from→to adjacency (already validated).
+func (n *Network) transmit(f *flight, from, to topology.NodeID, li int32) {
+	if n.lt.failed[li] {
+		n.dropFlight(f, from, "link-down")
 		return
 	}
-	link, _ := n.Graph.LinkBetween(from, to)
-	key := [2]topology.NodeID{from, to}
-	ls := n.links[key]
-	if ls == nil {
-		ls = &linkState{}
-		n.links[key] = ls
+	link := &n.Graph.Links[li]
+	di := 2 * int(li)
+	if link.A != from {
+		di++
 	}
 	now := n.Sched.Now()
-	if ls.busyUntil < now {
-		ls.busyUntil = now
+	busy := n.lt.busy[di]
+	if busy < now {
+		busy = now
 	}
-	backlog := ls.busyUntil - now
-	if backlog > n.MaxQueue {
-		n.drop(t, from, "queue-overflow")
+	txTime := sim.Time(float64(len(f.data)) / n.LinkRate * float64(sim.Second))
+	// Tail-drop admission: the packet is accepted only if the backlog it
+	// leaves behind (waiting + its own serialization) fits in MaxQueue,
+	// so the bound cannot be exceeded. (An earlier revision compared the
+	// pre-admission backlog, letting the queue overshoot by one packet.)
+	if busy-now+txTime > n.MaxQueue {
+		n.dropFlight(f, from, "queue-overflow")
 		return
 	}
-	txTime := sim.Time(float64(len(data)) / n.LinkRate * float64(sim.Second))
-	ls.busyUntil += txTime
-	arrive := ls.busyUntil + link.Latency + n.HopProcessing
-	dst := n.Node(to)
-	n.Sched.At(arrive, func() {
-		dst.process(t, data, Forwarding, from)
-	})
+	busy += txTime
+	n.lt.busy[di] = busy
+	arrive := busy + link.Latency + n.HopProcessing
+	f.node = n.Node(to)
+	f.dir = Forwarding
+	n.Sched.At(arrive, f.run)
 }
 
 // DeliveryRatio returns delivered / (delivered + dropped), or 0 when no

@@ -3,6 +3,7 @@ package packet
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -545,5 +546,69 @@ func BenchmarkNewPacket(b *testing.B) {
 		if p.ErrorLayer() != nil {
 			b.Fatal("decode failed")
 		}
+	}
+}
+
+func TestDecodeReuseMatchesDecodeFrom(t *testing.T) {
+	withOpts, err := Serialize(
+		&TIP{TTL: 9, Proto: LayerTypeRaw, Src: MakeAddr(1, 1), Dst: MakeAddr(9, 2),
+			SourceRoute: &SourceRouteOption{Ptr: 1, Hops: []Addr{MakeAddr(3, 0), MakeAddr(5, 0)}},
+			Payment:     &PaymentOption{Payer: MakeAddr(1, 1), Payee: MakeAddr(3, 0), AmountMilli: 250, Nonce: 7, MAC: 99},
+			Identity:    &IdentityOption{Scheme: IdentityPseudonym, ID: []byte("alice")}},
+		&Raw{Data: []byte("hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Serialize(
+		&TIP{TTL: 4, Proto: LayerTypeRaw, Src: MakeAddr(2, 1), Dst: MakeAddr(7, 2)},
+		&Raw{Data: []byte("bye")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fresh, reused TIP
+	if err := fresh.DecodeFrom(withOpts); err != nil {
+		t.Fatal(err)
+	}
+	if err := reused.DecodeReuse(withOpts); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, reused) {
+		t.Fatalf("DecodeReuse diverged from DecodeFrom:\n%+v\nvs\n%+v", fresh, reused)
+	}
+	// Re-decoding a packet without options must clear the option fields.
+	if err := reused.DecodeReuse(plain); err != nil {
+		t.Fatal(err)
+	}
+	if reused.SourceRoute != nil || reused.Payment != nil || reused.Identity != nil {
+		t.Fatalf("stale options survived re-decode: %+v", reused)
+	}
+}
+
+func TestDecodeReuseRecyclesOptionStructs(t *testing.T) {
+	data, err := Serialize(
+		&TIP{TTL: 9, Proto: LayerTypeRaw, Src: MakeAddr(1, 1), Dst: MakeAddr(9, 2),
+			SourceRoute: &SourceRouteOption{Hops: []Addr{MakeAddr(3, 0)}},
+			Payment:     &PaymentOption{Payer: MakeAddr(1, 1), AmountMilli: 5},
+			Identity:    &IdentityOption{Scheme: IdentityCertified, ID: []byte("bob")}},
+		&Raw{Data: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tip TIP
+	if err := tip.DecodeReuse(data); err != nil {
+		t.Fatal(err)
+	}
+	sr, pay, id := tip.SourceRoute, tip.Payment, tip.Identity
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := tip.DecodeReuse(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DecodeReuse allocated %.1f/op, want 0", allocs)
+	}
+	if tip.SourceRoute != sr || tip.Payment != pay || tip.Identity != id {
+		t.Fatal("DecodeReuse did not recycle the option structs")
 	}
 }

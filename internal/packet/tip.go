@@ -116,8 +116,23 @@ func (t *TIP) LayerPayload() []byte { return t.payload }
 // NextLayerType implements DecodingLayer.
 func (t *TIP) NextLayerType() LayerType { return t.Proto }
 
-// DecodeFrom implements DecodingLayer.
+// DecodeFrom implements DecodingLayer. Option structs from a previous
+// decode are discarded; use DecodeReuse to recycle them.
 func (t *TIP) DecodeFrom(data []byte) error {
+	return t.decode(data, false)
+}
+
+// DecodeReuse decodes like DecodeFrom but recycles the option structs
+// (SourceRoute, Payment, Identity) already attached to t, including the
+// source-route hop slice and identity byte slice, so steady-state
+// re-decodes on a forwarding fast path are allocation-free. Callers must
+// not retain pointers to t's options across calls: the structs are
+// overwritten in place by the next DecodeReuse.
+func (t *TIP) DecodeReuse(data []byte) error {
+	return t.decode(data, true)
+}
+
+func (t *TIP) decode(data []byte, reuse bool) error {
 	if len(data) < tipMinHeader {
 		return ErrTruncated
 	}
@@ -141,10 +156,14 @@ func (t *TIP) DecodeFrom(data []byte) error {
 	t.Proto = LayerType(data[5])
 	t.Src = getAddr(data[8:])
 	t.Dst = getAddr(data[12:])
+	var spare tipOptions
+	if reuse {
+		spare = tipOptions{sr: t.SourceRoute, pay: t.Payment, id: t.Identity}
+	}
 	t.SourceRoute = nil
 	t.Payment = nil
 	t.Identity = nil
-	if err := t.decodeOptions(data[tipMinHeader:hlen]); err != nil {
+	if err := t.decodeOptions(data[tipMinHeader:hlen], spare); err != nil {
 		return err
 	}
 	t.contents = data[:hlen]
@@ -152,7 +171,15 @@ func (t *TIP) DecodeFrom(data []byte) error {
 	return nil
 }
 
-func (t *TIP) decodeOptions(opts []byte) error {
+// tipOptions carries option structs from a prior decode that
+// decodeOptions may overwrite in place instead of allocating anew.
+type tipOptions struct {
+	sr  *SourceRouteOption
+	pay *PaymentOption
+	id  *IdentityOption
+}
+
+func (t *TIP) decodeOptions(opts []byte, spare tipOptions) error {
 	for len(opts) > 0 {
 		kind := opts[0]
 		switch kind {
@@ -175,7 +202,12 @@ func (t *TIP) decodeOptions(opts []byte) error {
 			if len(body) < 1 || (len(body)-1)%4 != 0 {
 				return fmt.Errorf("%w: source route option", ErrBadHeader)
 			}
-			sr := &SourceRouteOption{Ptr: body[0]}
+			sr := spare.sr
+			if sr == nil {
+				sr = &SourceRouteOption{}
+			}
+			sr.Ptr = body[0]
+			sr.Hops = sr.Hops[:0]
 			for i := 1; i < len(body); i += 4 {
 				sr.Hops = append(sr.Hops, getAddr(body[i:]))
 			}
@@ -187,20 +219,32 @@ func (t *TIP) decodeOptions(opts []byte) error {
 			if len(body) != 24 {
 				return fmt.Errorf("%w: payment option length %d", ErrBadHeader, len(body))
 			}
-			t.Payment = &PaymentOption{
+			pay := spare.pay
+			if pay == nil {
+				pay = &PaymentOption{}
+			}
+			*pay = PaymentOption{
 				Payer:       getAddr(body),
 				Payee:       getAddr(body[4:]),
 				AmountMilli: getU32(body[8:]),
 				Nonce:       getU32(body[12:]),
 				MAC:         getU64(body[16:]),
 			}
+			t.Payment = pay
 		case optIdentity:
 			if len(body) < 1 || len(body) > 17 {
 				return fmt.Errorf("%w: identity option length %d", ErrBadHeader, len(body))
 			}
-			id := make([]byte, len(body)-1)
-			copy(id, body[1:])
-			t.Identity = &IdentityOption{Scheme: body[0], ID: id}
+			opt := spare.id
+			if opt == nil {
+				opt = &IdentityOption{}
+			}
+			opt.Scheme = body[0]
+			if opt.ID == nil {
+				opt.ID = make([]byte, 0, 16)
+			}
+			opt.ID = append(opt.ID[:0], body[1:]...)
+			t.Identity = opt
 		default:
 			// Unknown options are skipped, not fatal: the network must
 			// carry mechanisms it does not understand (design for the

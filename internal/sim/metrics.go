@@ -143,6 +143,32 @@ func (s *Series) Gini() float64 {
 	return cum / (float64(n) * s.sum)
 }
 
+// KeyCache interns prefix+suffix counter keys so hot paths can count
+// parameterized events ("drop:<reason>", "blocked:<device>") without
+// re-concatenating — and so re-allocating — the key string on every
+// increment. Each distinct suffix allocates its composite key once; all
+// later lookups return the cached string. A KeyCache is not safe for
+// concurrent use; give each single-threaded simulation its own.
+type KeyCache struct {
+	prefix string
+	keys   map[string]string
+}
+
+// NewKeyCache returns an interner for keys of the form prefix+suffix.
+func NewKeyCache(prefix string) *KeyCache {
+	return &KeyCache{prefix: prefix, keys: make(map[string]string)}
+}
+
+// Key returns the interned prefix+suffix string, building it on first use.
+func (kc *KeyCache) Key(suffix string) string {
+	if k, ok := kc.keys[suffix]; ok {
+		return k
+	}
+	k := kc.prefix + suffix
+	kc.keys[suffix] = k
+	return k
+}
+
 // Counter is a simple named event counter map.
 type Counter map[string]int
 

@@ -401,3 +401,25 @@ func TestCounter(t *testing.T) {
 		t.Fatalf("counter state wrong: %v", c)
 	}
 }
+
+func TestKeyCacheInterning(t *testing.T) {
+	kc := NewKeyCache("drop:")
+	if got := kc.Key("ttl"); got != "drop:ttl" {
+		t.Fatalf("Key = %q, want drop:ttl", got)
+	}
+	kc.Key("no-route")
+	allocs := testing.AllocsPerRun(100, func() {
+		if kc.Key("ttl") != "drop:ttl" || kc.Key("no-route") != "drop:no-route" {
+			t.Fatal("wrong interned key")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("interned lookups allocated %.1f/op, want 0", allocs)
+	}
+	c := Counter{}
+	c.Inc(kc.Key("ttl"))
+	c.Inc(kc.Key("ttl"))
+	if c.Get("drop:ttl") != 2 {
+		t.Fatalf("counter via interned key = %d, want 2", c.Get("drop:ttl"))
+	}
+}

@@ -90,6 +90,13 @@ type Graph struct {
 	Links []Link
 	// adj caches adjacency: node -> link indices.
 	adj map[NodeID][]int
+	// nbr caches sorted neighbor lists for Neighbors; rebuilt lazily
+	// whenever the link count no longer matches nbrLinks. Routing code
+	// (SPF, path-vector convergence, source-route discovery) calls
+	// Neighbors in its innermost loops, so this must not allocate per
+	// call.
+	nbr      map[NodeID][]NodeID
+	nbrLinks int
 }
 
 // NewGraph returns an empty topology.
@@ -126,14 +133,31 @@ func (g *Graph) AddLink(a, b NodeID, rel Relationship, latency sim.Time, cost fl
 	g.adj[b] = append(g.adj[b], idx)
 }
 
-// Neighbors returns the IDs adjacent to id, in deterministic order.
+// Neighbors returns the IDs adjacent to id, in deterministic (ascending)
+// order. The returned slice is a shared cache — callers iterate it but
+// must not modify it.
 func (g *Graph) Neighbors(id NodeID) []NodeID {
-	var out []NodeID
-	for _, li := range g.adj[id] {
-		out = append(out, g.Links[li].Other(id))
+	if g.nbr == nil || g.nbrLinks != len(g.Links) {
+		g.rebuildNeighbors()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return g.nbr[id]
+}
+
+// rebuildNeighbors recomputes every node's sorted neighbor list. The
+// cache goes stale only by adding links (links are never removed;
+// netsim models failure as state on the link, not removal), so a link
+// count check is a complete staleness test.
+func (g *Graph) rebuildNeighbors() {
+	g.nbr = make(map[NodeID][]NodeID, len(g.adj))
+	for id, lis := range g.adj {
+		out := make([]NodeID, 0, len(lis))
+		for _, li := range lis {
+			out = append(out, g.Links[li].Other(id))
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		g.nbr[id] = out
+	}
+	g.nbrLinks = len(g.Links)
 }
 
 // LinkBetween returns the link between a and b, if any.
