@@ -1,8 +1,11 @@
-# Developer entry points. CI (.github/workflows/ci.yml) runs `make ci`.
+# Developer entry points. CI (.github/workflows/ci.yml) fans these out
+# across parallel jobs — lint (vet+build), test, race, bench-smoke,
+# fuzz-smoke, and golden-check — instead of one serial `make ci`; the
+# aggregate `ci` target remains the local equivalent of the full matrix.
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-json experiments ci
+.PHONY: all build vet test race bench-smoke bench bench-json experiments metrics fuzz-smoke golden-check ci
 
 all: vet build test
 
@@ -22,12 +25,13 @@ race:
 
 # One-iteration smoke of the suite benchmarks, then a quick measurement
 # run compared against the committed baseline: catches regressions that
-# break the benches and ns/op regressions in the same pass. The gate's
-# default tolerance is 10% (see tussle-bench -compare); CI machines are
-# noisy and the fastest experiments run in microseconds, where scheduler
-# jitter alone moves ns/op by tens of percent, so this target loosens it
-# to 50% — still far below the multiples a real hot-path regression
-# produces.
+# break the benches, ns/op regressions, and allocs/op growth (gated at
+# zero tolerance — alloc counts are deterministic) in the same pass. The
+# ns/op gate's default tolerance is 10% (see tussle-bench -compare); CI
+# machines are noisy and the fastest experiments run in microseconds,
+# where scheduler jitter alone moves ns/op by tens of percent, so this
+# target loosens it to 50% — still far below the multiples a real
+# hot-path regression produces.
 bench-smoke:
 	$(GO) test -run='^$$' -bench='BenchmarkAllExperiments' -benchtime=1x -benchmem .
 	$(GO) run ./cmd/tussle-bench -quiet -json /tmp/bench-smoke.json -iters 5 >/dev/null
@@ -46,4 +50,22 @@ bench-json:
 experiments:
 	$(GO) run ./cmd/tussle-bench -markdown > EXPERIMENTS.md
 
-ci: vet build test race bench-smoke
+# Run the instrumented suite and write the metric snapshot (suite
+# aggregate plus per-experiment breakdown). Deterministic per seed.
+metrics:
+	$(GO) run ./cmd/tussle-bench -quiet -metrics /tmp/metrics.json >/dev/null
+
+# Short fuzz passes over the TIP decoder: safety invariants on arbitrary
+# bytes, then DecodeReuse-vs-DecodeFrom differential. The regexps are
+# anchored because -fuzz must match exactly one target.
+fuzz-smoke:
+	$(GO) test -fuzz='^FuzzDecode$$' -fuzztime=30s ./internal/packet
+	$(GO) test -fuzz='^FuzzDecodeReuse$$' -fuzztime=30s ./internal/packet
+
+# Golden-determinism guard: regenerating EXPERIMENTS.md from the current
+# code must be a no-op, or a behavior change slipped through without its
+# goldens being regenerated intentionally.
+golden-check: experiments
+	git diff --exit-code EXPERIMENTS.md
+
+ci: vet build test race bench-smoke fuzz-smoke golden-check

@@ -5,15 +5,23 @@
 // Usage:
 //
 //	netsim [-seed N] [-packets N] [-fw-density F] [-srcroute] [-trace]
+//	       [-metrics FILE] [-events FILE]
+//
+// -metrics writes the run's internal/obs metric snapshot as JSON;
+// -events streams every forwarding-layer event (send, forward, drop,
+// middlebox rewrite, deliver) as JSON lines. Both are deterministic for
+// the seed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/middlebox"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/routing/pathvector"
 	"repro/internal/routing/srcroute"
@@ -27,6 +35,8 @@ func main() {
 	fwDensity := flag.Float64("fw-density", 0, "fraction of transit nodes with restrictive firewalls")
 	useSrcRoute := flag.Bool("srcroute", false, "attach user source routes (nodes honor them)")
 	showTrace := flag.Bool("trace", false, "print each packet's trace")
+	metricsPath := flag.String("metrics", "", "write the obs metric snapshot as JSON to this file")
+	eventsPath := flag.String("events", "", "write forwarding-layer events as JSON lines to this file")
 	flag.Parse()
 
 	rng := sim.NewRNG(*seed)
@@ -34,7 +44,27 @@ func main() {
 	sched := sim.NewScheduler()
 	net := netsim.New(sched, g)
 
+	var reg *obs.Registry
+	var sink *obs.JSONL
+	if *metricsPath != "" || *eventsPath != "" {
+		reg = obs.NewRegistry()
+		sched.AttachObs(reg)
+		var tr *obs.Tracer
+		if *eventsPath != "" {
+			f, err := os.Create(*eventsPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "netsim: events: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			sink = obs.NewJSONL(f)
+			tr = obs.NewTracer(sink)
+		}
+		net.AttachObs(reg, tr)
+	}
+
 	pv := pathvector.New(g)
+	pv.AttachObs(reg)
 	if err := pv.Converge(); err != nil {
 		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 		os.Exit(1)
@@ -116,5 +146,23 @@ func main() {
 	}
 	for reason, n := range dropReasons {
 		fmt.Printf("dropped (%s): %d\n", reason, n)
+	}
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: events: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsPath != "" {
+		buf, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*metricsPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

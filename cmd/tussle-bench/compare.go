@@ -10,8 +10,10 @@ import (
 
 // This file implements `tussle-bench -compare old.json new.json`: the
 // regression gate over two BENCH_suite.json files. Any experiment whose
-// ns/op grew by more than the tolerance fails the comparison, so CI can
-// hold the committed baseline against a freshly measured run.
+// ns/op grew by more than the tolerance — or whose allocs/op grew at
+// all — fails the comparison, so CI can hold the committed baseline
+// against a freshly measured run. Alloc counts are deterministic per
+// run (unlike timings), which is why their tolerance is zero.
 
 // regression is one experiment's old-vs-new delta.
 type regression struct {
@@ -21,6 +23,9 @@ type regression struct {
 	Ratio    float64 // new/old
 	OldAlloc uint64
 	NewAlloc uint64
+	// AllocRegressed marks a growth in allocs/op (gated at zero
+	// tolerance); the ratio gate covers ns/op only.
+	AllocRegressed bool
 }
 
 func loadSuite(path string) (*suiteBench, error) {
@@ -39,10 +44,12 @@ func loadSuite(path string) (*suiteBench, error) {
 }
 
 // compareSuites diffs two benchmark files and returns the per-experiment
-// deltas plus whether any experiment regressed beyond tolerance (e.g.
-// 0.10 = fail when ns/op grows more than 10%). Experiments present in
-// only one file are reported but never fail the gate (the suite may have
-// grown or shrunk between revisions).
+// deltas plus whether any experiment regressed: ns/op grown beyond
+// tolerance (e.g. 0.10 = fail when ns/op grows more than 10%), or
+// allocs/op grown at all (alloc counts are deterministic, so any growth
+// is a real regression, not noise). Experiments present in only one file
+// are reported but never fail the gate (the suite may have grown or
+// shrunk between revisions).
 func compareSuites(oldSB, newSB *suiteBench, tolerance float64) (deltas []regression, regressed []regression) {
 	oldByID := make(map[string]expBench, len(oldSB.Experiments))
 	for _, e := range oldSB.Experiments {
@@ -57,9 +64,10 @@ func compareSuites(oldSB, newSB *suiteBench, tolerance float64) (deltas []regres
 			ID: e.ID, OldNs: o.NsPerOp, NewNs: e.NsPerOp,
 			Ratio:    float64(e.NsPerOp) / float64(o.NsPerOp),
 			OldAlloc: o.AllocsPerOp, NewAlloc: e.AllocsPerOp,
+			AllocRegressed: e.AllocsPerOp > o.AllocsPerOp,
 		}
 		deltas = append(deltas, d)
-		if d.Ratio > 1+tolerance {
+		if d.Ratio > 1+tolerance || d.AllocRegressed {
 			regressed = append(regressed, d)
 		}
 	}
@@ -90,20 +98,27 @@ func runCompare(w io.Writer, oldPath, newPath string, tolerance float64) int {
 		return 2
 	}
 	deltas, regressed := compareSuites(oldSB, newSB, tolerance)
-	fmt.Fprintf(w, "bench compare: %s -> %s (tolerance %.0f%% ns/op)\n", oldPath, newPath, tolerance*100)
+	fmt.Fprintf(w, "bench compare: %s -> %s (tolerance %.0f%% ns/op, 0%% allocs/op)\n", oldPath, newPath, tolerance*100)
 	fmt.Fprintf(w, "%-6s %14s %14s %8s %12s %12s\n", "exp", "old ns/op", "new ns/op", "ratio", "old allocs", "new allocs")
 	for _, d := range deltas {
 		fmt.Fprintf(w, "%-6s %14d %14d %7.2fx %12d %12d\n", d.ID, d.OldNs, d.NewNs, d.Ratio, d.OldAlloc, d.NewAlloc)
 	}
 	fmt.Fprintf(w, "suite allocs/op: %d -> %d\n", suiteAllocs(oldSB), suiteAllocs(newSB))
 	if len(regressed) > 0 {
-		fmt.Fprintf(w, "FAIL: %d experiment(s) regressed beyond %.0f%%:", len(regressed), tolerance*100)
+		fmt.Fprintf(w, "FAIL: %d experiment(s) regressed:", len(regressed))
 		for _, d := range regressed {
-			fmt.Fprintf(w, " %s(%.2fx)", d.ID, d.Ratio)
+			switch {
+			case d.AllocRegressed && d.Ratio > 1+tolerance:
+				fmt.Fprintf(w, " %s(%.2fx, allocs %d->%d)", d.ID, d.Ratio, d.OldAlloc, d.NewAlloc)
+			case d.AllocRegressed:
+				fmt.Fprintf(w, " %s(allocs %d->%d)", d.ID, d.OldAlloc, d.NewAlloc)
+			default:
+				fmt.Fprintf(w, " %s(%.2fx)", d.ID, d.Ratio)
+			}
 		}
 		fmt.Fprintln(w)
 		return 1
 	}
-	fmt.Fprintln(w, "OK: no ns/op regression beyond tolerance")
+	fmt.Fprintln(w, "OK: no ns/op or allocs/op regression beyond tolerance")
 	return 0
 }

@@ -51,6 +51,39 @@ func TestCompareSuitesDetectsRegression(t *testing.T) {
 	}
 }
 
+// Alloc growth fails the gate at any size, regardless of the ns/op
+// tolerance — alloc counts are deterministic, so one extra alloc/op is a
+// real regression.
+func TestCompareSuitesGatesAllocs(t *testing.T) {
+	oldSB := &suiteBench{Experiments: []expBench{
+		{ID: "E1", NsPerOp: 1000, AllocsPerOp: 10},
+		{ID: "E2", NsPerOp: 1000, AllocsPerOp: 10},
+	}}
+	newSB := &suiteBench{Experiments: []expBench{
+		{ID: "E1", NsPerOp: 900, AllocsPerOp: 11}, // faster but +1 alloc: regression
+		{ID: "E2", NsPerOp: 1000, AllocsPerOp: 9}, // fewer allocs: fine
+	}}
+	_, regressed := compareSuites(oldSB, newSB, 0.10)
+	if len(regressed) != 1 || regressed[0].ID != "E1" || !regressed[0].AllocRegressed {
+		t.Fatalf("regressed = %+v, want exactly E1 flagged for allocs", regressed)
+	}
+	// No tolerance loosens the alloc gate.
+	if _, reg := compareSuites(oldSB, newSB, 10.0); len(reg) != 1 {
+		t.Fatalf("tolerance 10.0 dropped the alloc regression: %+v", reg)
+	}
+
+	var out strings.Builder
+	dir := t.TempDir()
+	oldPath := writeSuite(t, dir, "old.json", oldSB.Experiments)
+	newPath := writeSuite(t, dir, "new.json", newSB.Experiments)
+	if code := runCompare(&out, oldPath, newPath, 0.10); code != 1 {
+		t.Fatalf("alloc-regressed compare exit = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs 10->11") {
+		t.Fatalf("missing alloc diagnostics:\n%s", out.String())
+	}
+}
+
 func TestRunCompareExitCodes(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := writeSuite(t, dir, "old.json", []expBench{
@@ -67,7 +100,7 @@ func TestRunCompareExitCodes(t *testing.T) {
 	if code := runCompare(&out, oldPath, okPath, 0.10); code != 0 {
 		t.Fatalf("ok compare exit = %d, want 0; output:\n%s", code, out.String())
 	}
-	if !strings.Contains(out.String(), "OK: no ns/op regression") {
+	if !strings.Contains(out.String(), "OK: no ns/op or allocs/op regression") {
 		t.Fatalf("missing OK line:\n%s", out.String())
 	}
 

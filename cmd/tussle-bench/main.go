@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tussle-bench [-seed N] [-only E3,E11] [-quiet] [-parallel N] [-json FILE]
+//	tussle-bench [-seed N] [-only E3,E11] [-quiet] [-parallel N] [-json FILE] [-metrics FILE]
 //	tussle-bench -compare old.json new.json [-tolerance 0.10]
 //
 // Every run is deterministic for a given seed: the experiments are pure
@@ -16,8 +16,14 @@
 // (BENCH_suite.json by convention; see the Makefile bench-json target).
 //
 // -compare diffs two such JSON files and exits non-zero when any
-// experiment's ns/op regressed beyond -tolerance (default 10%). CI runs
-// it against the committed baseline; see the Makefile bench-smoke target.
+// experiment's ns/op regressed beyond -tolerance (default 10%) or its
+// allocs/op grew at all. CI runs it against the committed baseline; see
+// the Makefile bench-smoke target.
+//
+// -metrics FILE runs the suite with the internal/obs observability layer
+// enabled and writes the metric snapshots (suite-wide aggregate plus a
+// per-experiment breakdown) as JSON. Metrics record only simulated
+// quantities, so the file is byte-identical across runs at the same seed.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // expBench is one experiment's measured cost.
@@ -122,8 +129,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines for the suite (0 = GOMAXPROCS, 1 = sequential)")
 	jsonPath := flag.String("json", "", "also micro-benchmark every experiment and write JSON to this file (e.g. BENCH_suite.json)")
 	iters := flag.Int("iters", 3, "iterations per experiment for -json measurements")
-	compare := flag.Bool("compare", false, "compare two bench JSON files (old new); exit non-zero on ns/op regression")
+	compare := flag.Bool("compare", false, "compare two bench JSON files (old new); exit non-zero on ns/op or allocs/op regression")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op growth per experiment for -compare")
+	metricsPath := flag.String("metrics", "", "run the suite instrumented and write metric snapshots (suite aggregate + per-experiment) as JSON to this file")
 	flag.Parse()
 
 	if *compare {
@@ -141,7 +149,11 @@ func main() {
 		}
 	}
 
-	results := experiments.RunAll(*seed, experiments.Options{Parallelism: *parallel})
+	var suiteReg *obs.Registry
+	if *metricsPath != "" {
+		suiteReg = obs.NewRegistry()
+	}
+	results := experiments.RunAll(*seed, experiments.Options{Parallelism: *parallel, Obs: suiteReg})
 	if *markdown {
 		fmt.Printf("# EXPERIMENTS — paper claims vs measured results\n\n")
 		fmt.Printf("Generated by `go run ./cmd/tussle-bench -markdown` with seed %d.\n", *seed)
@@ -169,6 +181,14 @@ func main() {
 	if printed == 0 {
 		fmt.Fprintf(os.Stderr, "tussle-bench: no experiments matched %q\n", *only)
 		os.Exit(1)
+	}
+
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, *seed, suiteReg); err != nil {
+			fmt.Fprintf(os.Stderr, "tussle-bench: write %s: %v\n", *metricsPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tussle-bench: wrote %s\n", *metricsPath)
 	}
 
 	if *jsonPath != "" {

@@ -5,14 +5,21 @@
 // Usage:
 //
 //	tussled [-scenario NAME] [-rounds N] [-list]
+//	        [-cpuprofile FILE] [-memprofile FILE] [-traceout FILE]
 //
-// Scenarios live in internal/scenarios; -list enumerates them.
+// Scenarios live in internal/scenarios; -list enumerates them. The
+// profiling flags wrap the scenario run in the standard runtime/pprof
+// and runtime/trace collectors so hot spots in the engine can be read
+// with `go tool pprof` / `go tool trace`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 
 	"repro/internal/core"
@@ -23,6 +30,9 @@ func main() {
 	scenario := flag.String("scenario", "value-pricing", "scenario name (see -list)")
 	rounds := flag.Int("rounds", 12, "tussle rounds to run")
 	list := flag.Bool("list", false, "list available scenarios")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the scenario run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after the run) to this file")
+	traceout := flag.String("traceout", "", "write a runtime execution trace of the scenario run to this file")
 	flag.Parse()
 
 	if *list {
@@ -34,7 +44,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tussled: %v\n", err)
 		os.Exit(64)
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tussled: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tussled: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceout != "" {
+		f, err := os.Create(*traceout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tussled: traceout: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tussled: traceout: %v\n", err)
+			os.Exit(1)
+		}
+		defer trace.Stop()
+	}
 	e.Run(*rounds)
+	if *traceout != "" {
+		trace.Stop()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tussled: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "tussled: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Printf("scenario %q after %d rounds\n\n", *scenario, *rounds)
 	fmt.Println("history:")

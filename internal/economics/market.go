@@ -15,6 +15,7 @@ package economics
 import (
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -160,6 +161,41 @@ type Market struct {
 	// tunneling (distortion); Unserved counts consumer-rounds with no
 	// acceptable offer.
 	Switches, Tunnels, Unserved int
+
+	// obs instruments market clearing; nil means disabled.
+	mobs *marketObs
+}
+
+// marketObs bundles the market's instruments. The round clock is the
+// market's deterministic time base, so per-round distributions stand in
+// for span timings.
+type marketObs struct {
+	rounds   *obs.Counter
+	switches *obs.Counter
+	tunnels  *obs.Counter
+	unserved *obs.Counter
+	exits    *obs.Counter
+	perRound *obs.Histogram // switches per clearing round
+}
+
+// AttachObs enables market observability: counters for rounds cleared,
+// provider switches, tunneling (distortion) rounds, unserved
+// consumer-rounds, and provider exits, plus the per-round switch
+// distribution — the run-time signals the §V-A tussles are argued over
+// (who paid, who left, who evaded). A nil registry disables again.
+func (m *Market) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		m.mobs = nil
+		return
+	}
+	m.mobs = &marketObs{
+		rounds:   reg.Counter("econ.market.rounds"),
+		switches: reg.Counter("econ.market.switches"),
+		tunnels:  reg.Counter("econ.market.tunnels"),
+		unserved: reg.Counter("econ.market.unserved"),
+		exits:    reg.Counter("econ.market.provider_exits"),
+		perRound: reg.Histogram("econ.market.round_switches", obs.CountBuckets),
+	}
 }
 
 // NewMarket wires providers and consumers together.
@@ -193,6 +229,7 @@ func (m *Market) view() MarketView {
 // and exit of persistently unprofitable providers.
 func (m *Market) Step() {
 	m.Round++
+	switches0, tunnels0, unserved0 := m.Switches, m.Tunnels, m.Unserved
 	view := m.view()
 	for i, p := range m.Providers {
 		if p.Alive && p.Strat != nil {
@@ -286,7 +323,17 @@ func (m *Market) Step() {
 		}
 		if p.lossStreak >= 8 && subs == 0 {
 			p.Alive = false
+			if m.mobs != nil {
+				m.mobs.exits.Inc()
+			}
 		}
+	}
+	if m.mobs != nil {
+		m.mobs.rounds.Inc()
+		m.mobs.switches.Add(int64(m.Switches - switches0))
+		m.mobs.tunnels.Add(int64(m.Tunnels - tunnels0))
+		m.mobs.unserved.Add(int64(m.Unserved - unserved0))
+		m.mobs.perRound.Observe(float64(m.Switches - switches0))
 	}
 }
 

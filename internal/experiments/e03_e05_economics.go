@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/economics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -11,7 +12,9 @@ import (
 // renumbering — DHCP plus dynamic name update), consumers switch freely
 // and competition disciplines prices; when addresses lock consumers in,
 // incumbents keep prices high.
-func E3ProviderLockin(seed uint64) *Result {
+func E3ProviderLockin(seed uint64) *Result { return e3ProviderLockin(seed, nil) }
+
+func e3ProviderLockin(seed uint64, env *obs.Env) *Result {
 	res := &Result{
 		ID:    "E3",
 		Title: "provider lock-in from addressing",
@@ -52,6 +55,7 @@ func E3ProviderLockin(seed uint64) *Result {
 				})
 			}
 			m := economics.NewMarket(rng, providers, consumers)
+			m.AttachObs(env.Registry())
 			for _, c := range consumers {
 				c.Provider = 0
 			}
@@ -76,7 +80,9 @@ func E3ProviderLockin(seed uint64) *Result {
 // business-tier surcharge when consumers cannot respond, but tunneling
 // lets savvy consumers sidestep it — and competition amplifies the
 // leakage because a rival without the ban attracts the evaders.
-func E4ValuePricing(seed uint64) *Result {
+func E4ValuePricing(seed uint64) *Result { return e4ValuePricing(seed, nil) }
+
+func e4ValuePricing(seed uint64, env *obs.Env) *Result {
 	res := &Result{
 		ID:    "E4",
 		Title: "value pricing vs tunneling",
@@ -109,6 +115,7 @@ func E4ValuePricing(seed uint64) *Result {
 				})
 			}
 			m := economics.NewMarket(rng, providers, consumers)
+			m.AttachObs(env.Registry())
 			const rounds = 30
 			m.Run(rounds)
 			res.AddRow(fmt.Sprintf("%s %s", competition, tunneling),
@@ -131,7 +138,9 @@ func E4ValuePricing(seed uint64) *Result {
 // facility owner; but it transfers surplus away from the facility
 // investor, which is the paper's caveat ("they probably will not work to
 // the advantage of those that invest in the fiber").
-func E5OpenAccess(seed uint64) *Result {
+func E5OpenAccess(seed uint64) *Result { return e5OpenAccess(seed, nil) }
+
+func e5OpenAccess(seed uint64, env *obs.Env) *Result {
 	res := &Result{
 		ID:    "E5",
 		Title: "municipal fiber open access at the facility/ISP boundary",
@@ -170,6 +179,7 @@ func E5OpenAccess(seed uint64) *Result {
 			consumers = append(consumers, &economics.Consumer{ID: i, WTP: rng.Range(14, 22), SwitchCost: 1})
 		}
 		m := economics.NewMarket(rng, providers, consumers)
+		m.AttachObs(env.Registry())
 		const rounds = 80
 		m.Run(rounds)
 		// Facility profit = owner's retail profit + wholesale revenue

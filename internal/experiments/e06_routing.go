@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/economics"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/routing/pathvector"
 	"repro/internal/routing/srcroute"
@@ -19,7 +20,9 @@ import (
 // stub pairs on a generated internetwork: how many pairs have an
 // alternate path the user can actually exercise, and how much voucher
 // revenue flows to providers when payment is required.
-func E6RoutingControl(seed uint64) *Result {
+func E6RoutingControl(seed uint64) *Result { return e6RoutingControl(seed, nil) }
+
+func e6RoutingControl(seed uint64, env *obs.Env) *Result {
 	res := &Result{
 		ID:    "E6",
 		Title: "provider vs user control of inter-domain routes",
@@ -42,8 +45,11 @@ func E6RoutingControl(seed uint64) *Result {
 		rng := sim.NewRNG(seed)
 		g := topology.GenerateHierarchy(topology.DefaultHierarchy(), rng)
 		sched := sim.NewScheduler()
+		sched.AttachObs(env.Registry())
 		net := netsim.New(sched, g)
+		net.AttachObs(env.Registry(), env.Tracer())
 		pv := pathvector.New(g)
+		pv.AttachObs(env.Registry())
 		if err := pv.Converge(); err != nil {
 			panic(err)
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/congestion"
 	"repro/internal/middlebox"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/routing/linkstate"
 	"repro/internal/sim"
@@ -65,7 +66,9 @@ func E17Congestion(seed uint64) *Result {
 // differently. A byzantine AS advertises falsely cheap links to attract
 // traffic and blackholes it; signed, two-sided-attested advertisements
 // bound the damage.
-func E18Byzantine(seed uint64) *Result {
+func E18Byzantine(seed uint64) *Result { return e18Byzantine(seed, nil) }
+
+func e18Byzantine(seed uint64, env *obs.Env) *Result {
 	res := &Result{
 		ID:    "E18",
 		Title: "byzantine route advertisement: trusting vs robust flooding",
@@ -80,6 +83,7 @@ func E18Byzantine(seed uint64) *Result {
 			g := topology.GenerateHierarchy(topology.DefaultHierarchy(), rng)
 			keys := linkstate.GenerateKeys(g, rng)
 			db := linkstate.NewAdDatabase(g, mode, keys)
+			db.AttachObs(env.Registry())
 
 			// The attackers are transit nodes (stubs attract nothing).
 			var liars []topology.NodeID
@@ -106,7 +110,9 @@ func E18Byzantine(seed uint64) *Result {
 			// Forwarding: each node routes by the advertised database;
 			// liars blackhole transit traffic.
 			sched := sim.NewScheduler()
+			sched.AttachObs(env.Registry())
 			net := netsim.New(sched, g)
+			net.AttachObs(env.Registry(), env.Tracer())
 			for _, id := range g.NodeIDs() {
 				id := id
 				next, _ := db.SPF(id)
@@ -185,7 +191,9 @@ func (blackhole) Process(node topology.NodeID, dir netsim.Direction, data []byte
 // port number"; users respond by tunneling. The metric is the §IV-B
 // payoff of choice: inbox spam experienced, and where mail actually
 // flowed.
-func E19MailChoice(seed uint64) *Result {
+func E19MailChoice(seed uint64) *Result { return e19MailChoice(seed, nil) }
+
+func e19MailChoice(seed uint64, env *obs.Env) *Result {
 	res := &Result{
 		ID:    "E19",
 		Title: "mail server choice vs ISP redirection",
@@ -214,7 +222,9 @@ func E19MailChoice(seed uint64) *Result {
 		g.AddNode(3, topology.Transit, 1)
 		g.AddLink(1, 2, topology.CustomerOf, sim.Millisecond, 1)
 		g.AddLink(2, 3, topology.PeerOf, sim.Millisecond, 1)
+		sched.AttachObs(env.Registry())
 		net := netsim.New(sched, g)
+		net.AttachObs(env.Registry(), env.Tracer())
 		routes := map[topology.NodeID]map[uint16]topology.NodeID{
 			1: {2: 2, 3: 2},
 			2: {1: 1, 3: 3},

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Options configures RunAll.
@@ -11,6 +13,19 @@ type Options struct {
 	// Parallelism bounds the number of worker goroutines running
 	// experiments concurrently. Zero or negative means GOMAXPROCS.
 	Parallelism int
+
+	// Obs, when non-nil, collects metrics from every instrumented
+	// experiment in the suite. Under parallelism each worker records
+	// into a private shard registry; the shards are merged into Obs
+	// after the pool drains. Registry merging is commutative, so the
+	// aggregate is independent of the work-stealing schedule — the
+	// determinism contract extends to the metrics.
+	Obs *obs.Registry
+
+	// Trace, when non-nil, receives structured events from instrumented
+	// experiments. Sinks are single-threaded, so tracing is honored only
+	// at Parallelism 1; parallel runs ignore it.
+	Trace *obs.Tracer
 }
 
 // RunAll runs the full evaluation suite with the given seed, fanning the
@@ -32,8 +47,9 @@ func RunAll(seed uint64, opts Options) []*Result {
 	}
 	out := make([]*Result, len(registry))
 	if p <= 1 {
+		env := &obs.Env{Metrics: opts.Obs, Trace: opts.Trace}
 		for i, e := range registry {
-			out[i] = e.Run(seed)
+			out[i] = e.RunWith(seed, env)
 		}
 		return out
 	}
@@ -41,21 +57,34 @@ func RunAll(seed uint64, opts Options) []*Result {
 	// unclaimed experiment. out[i] is written by exactly one worker, and
 	// slot order (not completion order) fixes the result order, so the
 	// schedule is irrelevant to the output.
+	shards := make([]*obs.Registry, p)
+	if opts.Obs != nil {
+		for w := range shards {
+			shards[w] = obs.NewRegistry()
+		}
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
+		w := w
 		go func() {
 			defer wg.Done()
+			env := &obs.Env{Metrics: shards[w]}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(registry) {
 					return
 				}
-				out[i] = registry[i].Run(seed)
+				out[i] = registry[i].RunWith(seed, env)
 			}
 		}()
 	}
 	wg.Wait()
+	if opts.Obs != nil {
+		for _, sh := range shards {
+			opts.Obs.Merge(sh)
+		}
+	}
 	return out
 }

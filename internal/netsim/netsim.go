@@ -27,6 +27,7 @@ package netsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -188,6 +189,12 @@ type Network struct {
 	lt     linkTable
 	failed map[[2]topology.NodeID]bool
 
+	// obs/tracer are the observability hooks; both nil when disabled,
+	// and every instrumented site is a single nil check so the
+	// zero-alloc forwarding invariant holds with obs off.
+	obs    *netObs
+	tracer *obs.Tracer
+
 	// flightFree recycles flight contexts between packets.
 	flightFree []*flight
 
@@ -224,6 +231,64 @@ func New(sched *sim.Scheduler, g *topology.Graph) *Network {
 	}
 	n.InvalidateTopology()
 	return n
+}
+
+// netObs bundles the forwarding plane's instruments. Drop counters are
+// per-reason and created lazily (drops are off the fast path); the rest
+// are pre-bound handles touched once per packet or per hop.
+type netObs struct {
+	reg       *obs.Registry
+	sends     *obs.Counter
+	delivered *obs.Counter
+	forwarded *obs.Counter
+	drops     *obs.Counter
+	mboxRuns  *obs.Counter
+	rewrites  *obs.Counter
+	mboxDrops *obs.Counter
+	latency   *obs.Histogram // delivered packets' transit time, sim ns
+	hops      *obs.Histogram // delivered packets' forward-hop count
+	dropBy    map[string]*obs.Counter
+}
+
+// dropCounter returns the per-reason drop counter, creating it on first
+// use. reason is always an interned string (KeyCache or literal), so
+// the map never accumulates duplicates.
+func (o *netObs) dropCounter(reason string) *obs.Counter {
+	if c, ok := o.dropBy[reason]; ok {
+		return c
+	}
+	c := o.reg.Counter("netsim.drop." + reason)
+	o.dropBy[reason] = c
+	return c
+}
+
+// AttachObs enables forwarding-plane observability: counters for every
+// packet fate (sends, forwards, deliveries, drops by reason), middlebox
+// traversal and rewrite counts, and histograms of delivered packets'
+// transit time and hop count. tr, when non-nil, additionally receives a
+// structured event stream — sends, forwards, deliveries, middlebox
+// rewrites, and drops with their reasons — in simulated-time order (the
+// run-time contest visibility of §IV-C). Passing a nil registry and nil
+// tracer disables observability again.
+func (n *Network) AttachObs(reg *obs.Registry, tr *obs.Tracer) {
+	n.tracer = tr
+	if reg == nil {
+		n.obs = nil
+		return
+	}
+	n.obs = &netObs{
+		reg:       reg,
+		sends:     reg.Counter("netsim.sends"),
+		delivered: reg.Counter("netsim.delivered"),
+		forwarded: reg.Counter("netsim.forwarded"),
+		drops:     reg.Counter("netsim.drops"),
+		mboxRuns:  reg.Counter("netsim.mbox.runs"),
+		rewrites:  reg.Counter("netsim.mbox.rewrites"),
+		mboxDrops: reg.Counter("netsim.mbox.drops"),
+		latency:   reg.Histogram("netsim.packet_latency_ns", obs.TimeBucketsNs),
+		hops:      reg.Histogram("netsim.packet_hops", obs.CountBuckets),
+		dropBy:    make(map[string]*obs.Counter),
+	}
 }
 
 // InvalidateTopology rebuilds the dense adjacency/link-state table from
@@ -374,6 +439,7 @@ type flight struct {
 	tip  packet.TIP
 	node *Node
 	dir  Direction
+	hops int    // forward hops taken, for the obs hop histogram
 	run  func() // method value for f.step, created once per flight
 }
 
@@ -420,6 +486,13 @@ func (n *Network) Send(src topology.NodeID, data []byte) *Trace {
 	f.data = data
 	f.node = n.Node(src)
 	f.dir = Sending
+	f.hops = 0
+	if n.obs != nil {
+		n.obs.sends.Inc()
+	}
+	if n.tracer.Enabled() {
+		n.tracer.Emit(obs.Event{Time: int64(n.Sched.Now()), Scope: "netsim", Kind: "send", Node: int64(src)})
+	}
 	n.Sched.After(0, f.run)
 	return t
 }
@@ -427,6 +500,13 @@ func (n *Network) Send(src topology.NodeID, data []byte) *Trace {
 func (n *Network) drop(t *Trace, node topology.NodeID, reason string) {
 	n.Dropped++
 	n.Stats.Inc(n.dropKeys.Key(reason))
+	if n.obs != nil {
+		n.obs.drops.Inc()
+		n.obs.dropCounter(reason).Inc()
+	}
+	if n.tracer.Enabled() {
+		n.tracer.Emit(obs.Event{Time: int64(n.Sched.Now()), Scope: "netsim", Kind: "drop", Node: int64(node), Detail: reason})
+	}
 	t.DropNode = node
 	t.DropReason = reason
 	t.DoneAt = n.Sched.Now()
@@ -454,9 +534,15 @@ func (nd *Node) process(f *flight) {
 	}
 	// Middlebox chain (single-pass: see the Middlebox interface comment).
 	for _, m := range nd.Middleboxes {
+		if n.obs != nil {
+			n.obs.mboxRuns.Inc()
+		}
 		out, verdict := m.Process(nd.ID, dir, f.data)
 		if verdict == Drop {
 			nd.Counters.Inc("mbox_drop")
+			if n.obs != nil {
+				n.obs.mboxDrops.Inc()
+			}
 			reason := "lost"
 			if !m.Silent() {
 				reason = n.blockedKeys.Key(m.Name())
@@ -466,6 +552,18 @@ func (nd *Node) process(f *flight) {
 		}
 		if out != nil {
 			f.data = out
+			if n.obs != nil {
+				n.obs.rewrites.Inc()
+			}
+			if n.tracer.Enabled() {
+				// A silent device's rewrite stays anonymous in the event
+				// stream, mirroring the drop-report rule.
+				detail := ""
+				if !m.Silent() {
+					detail = m.Name()
+				}
+				n.tracer.Emit(obs.Event{Time: int64(n.Sched.Now()), Scope: "netsim", Kind: "mbox-rewrite", Node: int64(nd.ID), Detail: detail})
+			}
 			// Transformations may rewrite headers; re-decode to restore
 			// bytes/decoded-header coherence.
 			if err := f.tip.DecodeReuse(out); err != nil {
@@ -486,6 +584,14 @@ func (nd *Node) process(f *flight) {
 		t.DoneAt = n.Sched.Now()
 		t.record(n.Sched.Now(), nd.ID, "deliver", "")
 		nd.Counters.Inc("delivered")
+		if n.obs != nil {
+			n.obs.delivered.Inc()
+			n.obs.latency.Observe(float64(t.DoneAt - t.SentAt))
+			n.obs.hops.Observe(float64(f.hops))
+		}
+		if n.tracer.Enabled() {
+			n.tracer.Emit(obs.Event{Time: int64(t.DoneAt), Scope: "netsim", Kind: "deliver", Node: int64(nd.ID), Value: float64(t.DoneAt - t.SentAt)})
+		}
 		if nd.Deliver != nil {
 			nd.Deliver(nd, t, f.data)
 		}
@@ -506,6 +612,10 @@ func (nd *Node) process(f *flight) {
 		}
 		f.t.record(n.Sched.Now(), nd.ID, "forward", "")
 		nd.Counters.Inc("forwarded")
+		f.hops++
+		if n.obs != nil {
+			n.obs.forwarded.Inc()
+		}
 	}
 	next, ok := nd.nextHop(f)
 	if !ok {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trust"
@@ -102,6 +103,28 @@ type AdDatabase struct {
 
 	scratch     spfScratch
 	nbrsScratch []topology.NodeID
+
+	// obs instruments flooding and route computation; nil means disabled.
+	spfRuns     *obs.Counter
+	spfSettled  *obs.Histogram
+	adsFlooded  *obs.Counter
+	adsRejected *obs.Counter
+}
+
+// AttachObs enables advertisement-database observability: SPF runs and
+// settled-node distribution (same names as Database, so either routing
+// substrate feeds the same metrics), plus counters for advertisements
+// flooded and rejected by the verification mode's defenses. A nil
+// registry disables again.
+func (db *AdDatabase) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		db.spfRuns, db.spfSettled, db.adsFlooded, db.adsRejected = nil, nil, nil, nil
+		return
+	}
+	db.spfRuns = reg.Counter("routing.linkstate.spf_runs")
+	db.spfSettled = reg.Histogram("routing.linkstate.spf_settled", obs.CountBuckets)
+	db.adsFlooded = reg.Counter("routing.linkstate.ads_flooded")
+	db.adsRejected = reg.Counter("routing.linkstate.ads_rejected")
 }
 
 // NewAdDatabase creates an empty advertisement database. keys maps each
@@ -113,10 +136,17 @@ func NewAdDatabase(g *topology.Graph, mode VerifyMode, keys map[topology.NodeID]
 
 // Flood installs an advertisement, applying the mode's checks.
 func (db *AdDatabase) Flood(ad *Advertisement) {
+	rejected0 := db.Rejected
+	if db.adsFlooded != nil {
+		db.adsFlooded.Inc()
+	}
 	if db.Mode == SignedTwoSided {
 		p := db.keys[ad.From]
 		if p == nil || ad.Sig == nil || !p.Verify(adBytes(ad), ad.Sig) {
 			db.Rejected++
+			if db.adsRejected != nil {
+				db.adsRejected.Add(int64(db.Rejected - rejected0))
+			}
 			return
 		}
 		// Drop phantom entries: claims about non-adjacent links.
@@ -126,6 +156,9 @@ func (db *AdDatabase) Flood(ad *Advertisement) {
 				db.Rejected++
 			}
 		}
+	}
+	if db.adsRejected != nil {
+		db.adsRejected.Add(int64(db.Rejected - rejected0))
 	}
 	db.ads[ad.From] = ad
 }
@@ -205,6 +238,10 @@ func (db *AdDatabase) SPF(src topology.NodeID) (next map[topology.NodeID]topolog
 		sort.SliceStable(q[head:], func(i, j int) bool { return q[head+i].dist < q[head+j].dist })
 	}
 	sc.q = q[:0]
+	if db.spfRuns != nil {
+		db.spfRuns.Inc()
+		db.spfSettled.Observe(float64(len(done)))
+	}
 	for dst := range dist {
 		if dst == src {
 			continue

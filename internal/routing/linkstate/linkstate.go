@@ -9,6 +9,7 @@ package linkstate
 import (
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/topology"
 )
@@ -27,11 +28,27 @@ type Database struct {
 	Overrides map[[2]topology.NodeID]float64
 
 	scratch spfScratch
+
+	// obs instruments route computation; nil means disabled.
+	spfRuns    *obs.Counter
+	spfSettled *obs.Histogram
 }
 
 // NewDatabase builds a database over the topology.
 func NewDatabase(g *topology.Graph) *Database {
 	return &Database{g: g, Overrides: make(map[[2]topology.NodeID]float64)}
+}
+
+// AttachObs enables route-computation observability: a counter of SPF
+// runs and the distribution of nodes settled per run (the convergence
+// work a cost change triggers). A nil registry disables again.
+func (db *Database) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		db.spfRuns, db.spfSettled = nil, nil
+		return
+	}
+	db.spfRuns = reg.Counter("routing.linkstate.spf_runs")
+	db.spfSettled = reg.Histogram("routing.linkstate.spf_settled", obs.CountBuckets)
 }
 
 // SetCost overrides the advertised cost of the directed edge a→b.
@@ -167,6 +184,10 @@ func (db *Database) SPF(src topology.NodeID) (next map[topology.NodeID]topology.
 		}
 	}
 	sc.q = q // keep the grown backing array for the next call
+	if db.spfRuns != nil {
+		db.spfRuns.Inc()
+		db.spfSettled.Observe(float64(len(done)))
+	}
 	for dst := range dist {
 		if dst == src {
 			continue

@@ -10,6 +10,7 @@ package pathvector
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/topology"
 )
@@ -70,6 +71,24 @@ type Protocol struct {
 	RIBs map[topology.NodeID]*RIB
 	// Iterations is how many rounds convergence took.
 	Iterations int
+
+	// obs instruments convergence; nil means disabled.
+	convergeRuns *obs.Counter
+	convergeIter *obs.Histogram
+	routesHeld   *obs.Histogram
+}
+
+// AttachObs enables convergence observability: a counter of Converge
+// calls, the distribution of iterations each took, and the distribution
+// of RIB sizes after convergence. A nil registry disables again.
+func (p *Protocol) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		p.convergeRuns, p.convergeIter, p.routesHeld = nil, nil, nil
+		return
+	}
+	p.convergeRuns = reg.Counter("routing.pathvector.converge_runs")
+	p.convergeIter = reg.Histogram("routing.pathvector.converge_iterations", obs.CountBuckets)
+	p.routesHeld = reg.Histogram("routing.pathvector.rib_routes", obs.CountBuckets)
 }
 
 // New prepares a protocol instance over g.
@@ -147,6 +166,13 @@ func (p *Protocol) Converge() error {
 		}
 		if !changed {
 			p.Iterations = iter + 1
+			if p.convergeRuns != nil {
+				p.convergeRuns.Inc()
+				p.convergeIter.Observe(float64(p.Iterations))
+				for _, rib := range p.RIBs {
+					p.routesHeld.Observe(float64(len(rib.Best)))
+				}
+			}
 			return nil
 		}
 	}

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Time is simulated time in nanoseconds since the start of the run.
@@ -43,6 +45,7 @@ type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among same-time events; globally unique
 	fn   func()
+	born Time // scheduling time, for the obs event-lag span
 	gen  uint32
 	live bool
 }
@@ -89,8 +92,41 @@ type Scheduler struct {
 	dead    int         // cancelled events whose heap entries are not yet drained
 	stopped bool
 
+	// obs holds the scheduler's observability instruments; nil means
+	// disabled, and every hook below is a single nil check.
+	obs *schedObs
+
 	// Processed counts events executed, for loop-detection and stats.
 	Processed uint64
+}
+
+// schedObs bundles the scheduler's instruments. Dispatch is the hot
+// path: one counter increment and two histogram observations per event,
+// all allocation-free (see internal/obs).
+type schedObs struct {
+	scheduled  *obs.Counter
+	cancelled  *obs.Counter
+	dispatched *obs.Counter
+	depth      *obs.Histogram // live queue depth sampled at each dispatch
+	lag        *obs.Histogram // sim-ns between scheduling and execution
+}
+
+// AttachObs enables scheduler observability against reg: counters for
+// scheduled/cancelled/dispatched events, a queue-depth distribution
+// sampled at dispatch, and the span from scheduling to execution in
+// simulated nanoseconds. A nil registry detaches (disables) again.
+func (s *Scheduler) AttachObs(reg *obs.Registry) {
+	if reg == nil {
+		s.obs = nil
+		return
+	}
+	s.obs = &schedObs{
+		scheduled:  reg.Counter("sim.sched.scheduled"),
+		cancelled:  reg.Counter("sim.sched.cancelled"),
+		dispatched: reg.Counter("sim.sched.dispatched"),
+		depth:      reg.Histogram("sim.sched.queue_depth", obs.CountBuckets),
+		lag:        reg.Histogram("sim.sched.event_lag_ns", obs.TimeBucketsNs),
+	}
 }
 
 // NewScheduler returns an empty scheduler at time zero.
@@ -137,8 +173,12 @@ func (s *Scheduler) At(at Time, fn func()) EventID {
 	ev.at = at
 	ev.seq = s.seq
 	ev.fn = fn
+	ev.born = s.now
 	ev.live = true
 	s.seq++
+	if s.obs != nil {
+		s.obs.scheduled.Inc()
+	}
 	s.push(heapEntry{at: at, seq: ev.seq, slot: idx})
 	return EventID{slot: idx + 1, gen: ev.gen}
 }
@@ -168,6 +208,9 @@ func (s *Scheduler) Cancel(id EventID) {
 	}
 	s.release(idx)
 	s.dead++
+	if s.obs != nil {
+		s.obs.cancelled.Inc()
+	}
 	s.maybeCompact()
 }
 
@@ -213,6 +256,11 @@ func (s *Scheduler) popLive() (at Time, fn func(), ok bool) {
 			continue
 		}
 		at, fn = ev.at, ev.fn
+		if s.obs != nil {
+			s.obs.dispatched.Inc()
+			s.obs.lag.Observe(float64(at - ev.born))
+			s.obs.depth.Observe(float64(s.Pending()))
+		}
 		s.release(e.slot)
 		return at, fn, true
 	}
