@@ -55,12 +55,14 @@ experiments:
 metrics:
 	$(GO) run ./cmd/tussle-bench -quiet -metrics /tmp/metrics.json >/dev/null
 
-# Short fuzz passes over the TIP decoder: safety invariants on arbitrary
-# bytes, then DecodeReuse-vs-DecodeFrom differential. The regexps are
-# anchored because -fuzz must match exactly one target.
+# Short fuzz passes over the TIP decoder (safety invariants on arbitrary
+# bytes, then DecodeReuse-vs-DecodeFrom differential) and the chaos plan
+# parser (canonical-form round-trip). The regexps are anchored because
+# -fuzz must match exactly one target.
 fuzz-smoke:
 	$(GO) test -fuzz='^FuzzDecode$$' -fuzztime=30s ./internal/packet
 	$(GO) test -fuzz='^FuzzDecodeReuse$$' -fuzztime=30s ./internal/packet
+	$(GO) test -fuzz='^FuzzFaultPlan$$' -fuzztime=30s ./internal/chaos
 
 # Golden-determinism guard: regenerating EXPERIMENTS.md from the current
 # code must be a no-op, or a behavior change slipped through without its

@@ -54,13 +54,15 @@ func BenchmarkE25Multihoming(b *testing.B)     { benchExperiment(b, experiments.
 func BenchmarkE26OverlayVsIntegrated(b *testing.B) {
 	benchExperiment(b, experiments.E26OverlayVsIntegrated)
 }
+func BenchmarkE27Availability(b *testing.B) { benchExperiment(b, experiments.E27Availability) }
+func BenchmarkE28Degradation(b *testing.B)  { benchExperiment(b, experiments.E28Degradation) }
 
 // BenchmarkAllExperiments runs the full suite as one unit — the shape of
 // a complete evaluation regeneration.
 func BenchmarkAllExperiments(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if rs := experiments.All(benchSeed); len(rs) != 26 {
+		if rs := experiments.All(benchSeed); len(rs) != 28 {
 			b.Fatal("suite incomplete")
 		}
 	}
@@ -73,7 +75,7 @@ func BenchmarkAllExperiments(b *testing.B) {
 func BenchmarkAllExperimentsParallel(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if rs := experiments.RunAll(benchSeed, experiments.Options{}); len(rs) != 26 {
+		if rs := experiments.RunAll(benchSeed, experiments.Options{}); len(rs) != 28 {
 			b.Fatal("suite incomplete")
 		}
 	}

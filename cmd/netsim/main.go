@@ -5,12 +5,18 @@
 // Usage:
 //
 //	netsim [-seed N] [-packets N] [-fw-density F] [-srcroute] [-trace]
-//	       [-metrics FILE] [-events FILE]
+//	       [-faultplan FILE] [-metrics FILE] [-events FILE]
 //
 // -metrics writes the run's internal/obs metric snapshot as JSON;
 // -events streams every forwarding-layer event (send, forward, drop,
 // middlebox rewrite, deliver) as JSON lines. Both are deterministic for
 // the seed.
+//
+// -faultplan replays a chaos plan (internal/chaos JSON schema: timed
+// link failures, flaps, node crashes, partitions, packet impairment)
+// while the probes are in flight; path-vector routing re-converges
+// around each fault with a modeled delay. Replays at the same seed are
+// byte-identical.
 package main
 
 import (
@@ -18,7 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"repro/internal/chaos"
 	"repro/internal/middlebox"
 	"repro/internal/netsim"
 	"repro/internal/obs"
@@ -35,6 +43,7 @@ func main() {
 	fwDensity := flag.Float64("fw-density", 0, "fraction of transit nodes with restrictive firewalls")
 	useSrcRoute := flag.Bool("srcroute", false, "attach user source routes (nodes honor them)")
 	showTrace := flag.Bool("trace", false, "print each packet's trace")
+	faultPlan := flag.String("faultplan", "", "replay a chaos fault plan (JSON) during the run")
 	metricsPath := flag.String("metrics", "", "write the obs metric snapshot as JSON to this file")
 	eventsPath := flag.String("events", "", "write forwarding-layer events as JSON lines to this file")
 	flag.Parse()
@@ -72,6 +81,46 @@ func main() {
 	fmt.Printf("topology: %d nodes, %d links; path-vector converged in %d iterations\n",
 		len(g.Nodes), len(g.Links), pv.Iterations)
 
+	// With a fault plan, the engine replays timed faults and a rerouter
+	// re-converges path-vector routing around them; probe sends spread
+	// over the plan's duration so traffic actually meets the faults.
+	var eng *chaos.Engine
+	var pvr *chaos.PathVectorRerouter
+	horizon := sim.Time(0)
+	if *faultPlan != "" {
+		buf, err := os.ReadFile(*faultPlan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: faultplan: %v\n", err)
+			os.Exit(1)
+		}
+		plan, err := chaos.ParsePlan(buf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: faultplan: %v\n", err)
+			os.Exit(1)
+		}
+		pvr = chaos.NewPathVectorRerouter(net, pv, true)
+		pvr.AttachObs(reg)
+		if err := pvr.Converge(); err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: faultplan: %v\n", err)
+			os.Exit(1)
+		}
+		eng = chaos.New(net, *seed)
+		eng.AttachObs(reg)
+		eng.Observe(pvr)
+		if err := eng.Schedule(plan); err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: faultplan: %v\n", err)
+			os.Exit(1)
+		}
+		for i := range plan.Events {
+			if at := plan.Events[i].At(); at > horizon {
+				horizon = at
+			}
+		}
+		horizon += 200 * sim.Millisecond
+		fmt.Printf("fault plan %q: %d events; probes spread over %v\n",
+			plan.Name, len(plan.Events), horizon)
+	}
+
 	for _, id := range g.NodeIDs() {
 		nd := net.Node(id)
 		nd.Route = pv.RouteFunc(id)
@@ -86,7 +135,7 @@ func main() {
 	}
 
 	stubs := g.Stubs()
-	var traces []*netsim.Trace
+	traces := make([]*netsim.Trace, *packets)
 	var hops sim.Series
 	for i := 0; i < *packets; i++ {
 		src := stubs[rng.Intn(len(stubs))]
@@ -116,9 +165,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
 			os.Exit(1)
 		}
-		traces = append(traces, net.Send(src, data))
+		if eng != nil {
+			i, src, data := i, src, data
+			sched.At(sim.Time(i)*horizon/sim.Time(*packets), func() {
+				traces[i] = net.Send(src, data)
+			})
+		} else {
+			traces[i] = net.Send(src, data)
+		}
 	}
 	sched.Run()
+
+	if eng != nil {
+		fmt.Printf("chaos: applied %v; path-vector reconverged %d times (route churn %d, modeled delay %v)\n",
+			eng.Applied, pvr.Reconverges, pvr.TotalChurn, pvr.TotalDelay)
+	}
 
 	delivered := 0
 	dropReasons := sim.Counter{}
@@ -144,8 +205,13 @@ func main() {
 		fmt.Printf("latency: mean %.2fms p99 %.2fms; hops: mean %.1f max %.0f\n",
 			latency.Mean(), latency.Percentile(99), hops.Mean(), hops.Max())
 	}
-	for reason, n := range dropReasons {
-		fmt.Printf("dropped (%s): %d\n", reason, n)
+	reasons := make([]string, 0, len(dropReasons))
+	for reason := range dropReasons {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		fmt.Printf("dropped (%s): %d\n", reason, dropReasons[reason])
 	}
 	if sink != nil {
 		if err := sink.Err(); err != nil {

@@ -1,4 +1,4 @@
-// Command tussle-bench regenerates the full evaluation suite (E1–E26,
+// Command tussle-bench regenerates the full evaluation suite (E1–E28,
 // indexed in DESIGN.md) and prints each experiment's table and finding.
 //
 // Usage:

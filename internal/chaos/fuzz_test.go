@@ -1,0 +1,44 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFaultPlan round-trips the plan parser: any input ParsePlan accepts
+// must validate, encode, re-parse, and re-encode to the identical bytes
+// (canonical-form fixed point). Inputs it rejects must not crash. The
+// committed seed corpus lives in testdata/fuzz/FuzzFaultPlan and CI runs
+// a short -fuzz smoke on every push (see .github/workflows/ci.yml).
+func FuzzFaultPlan(f *testing.F) {
+	f.Add([]byte(samplePlan()))
+	f.Add([]byte(`{"name":"empty","seed":0,"events":[]}`))
+	f.Add([]byte(`{"events":[{"at_ms":0,"kind":"heal"}]}`))
+	f.Add([]byte(`{"events":[{"at_ms":1.5,"kind":"partition","group":[1,2,3]}]}`))
+	f.Add([]byte(`{"events":[{"at_ms":1e3,"kind":"impair","a":1,"b":2,"corrupt":1}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePlan(data)
+		if err != nil {
+			return // rejected without crashing: fine
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParsePlan returned a plan Validate rejects: %v", err)
+		}
+		enc, err := p.Encode()
+		if err != nil {
+			t.Fatalf("accepted plan failed to encode: %v", err)
+		}
+		p2, err := ParsePlan(enc)
+		if err != nil {
+			t.Fatalf("own encoding does not re-parse: %v\n%s", err, enc)
+		}
+		enc2, err := p2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode is not a fixed point:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

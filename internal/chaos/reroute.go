@@ -1,0 +1,523 @@
+package chaos
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/routing/linkstate"
+	"repro/internal/routing/pathvector"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trust"
+)
+
+// This file wires routing protocols to the fault engine: each rerouter
+// is an Observer that resynchronizes its protocol's view of the topology
+// from the network's actual fault state, recomputes routes, and installs
+// the new tables after a modeled reconvergence delay. Convergence time
+// and route churn are exported as plain fields (for deterministic
+// experiment tables) and obs histograms (for -metrics snapshots).
+//
+// Rerouters resync from netsim ground truth rather than applying event
+// diffs, so they are idempotent under duplicate notifications and
+// independent of event ordering — a partition and the same links failed
+// one by one converge to identical tables.
+
+// rerouteObs is the shared instrument bundle; protocol adapters bind it
+// to protocol-specific metric names.
+type rerouteObs struct {
+	reconverges *obs.Counter
+	delayNs     *obs.Histogram
+	churn       *obs.Histogram
+}
+
+func (ro *rerouteObs) attach(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		ro.reconverges, ro.delayNs, ro.churn = nil, nil, nil
+		return
+	}
+	ro.reconverges = reg.Counter(prefix + ".reconverges")
+	ro.delayNs = reg.Histogram(prefix+".reconverge_time_ns", obs.TimeBucketsNs)
+	ro.churn = reg.Histogram(prefix+".route_churn", obs.CountBuckets)
+}
+
+// nextHops is a snapshot of every node's next hop per destination, the
+// unit of churn accounting.
+type nextHops map[topology.NodeID]map[topology.NodeID]topology.NodeID
+
+// churnCount counts (node, dst) pairs whose next hop changed, appeared,
+// or disappeared between two snapshots.
+func churnCount(prev, cur nextHops) int {
+	churn := 0
+	for node, curTable := range cur {
+		prevTable := prev[node]
+		for dst, nh := range curTable {
+			if p, ok := prevTable[dst]; !ok || p != nh {
+				churn++
+			}
+		}
+		for dst := range prevTable {
+			if _, ok := curTable[dst]; !ok {
+				churn++
+			}
+		}
+	}
+	for node, prevTable := range prev {
+		if _, ok := cur[node]; !ok {
+			churn += len(prevTable)
+		}
+	}
+	return churn
+}
+
+// floodRadius is the hop distance (over live links and nodes) from the
+// fault site to the farthest reachable node: how many flooding hops the
+// news must travel before the whole network has heard it.
+func floodRadius(net *netsim.Network, seeds []topology.NodeID) int {
+	g := net.Graph
+	dist := make(map[topology.NodeID]int, len(g.Nodes))
+	queue := make([]topology.NodeID, 0, len(g.Nodes))
+	for _, s := range seeds {
+		if _, ok := g.Nodes[s]; !ok {
+			continue
+		}
+		if net.NodeFailed(s) {
+			// A crashed node announces nothing; its live neighbors detect
+			// the death simultaneously and originate the news.
+			for _, nb := range g.Neighbors(s) {
+				if net.NodeFailed(nb) {
+					continue
+				}
+				if _, seen := dist[nb]; !seen {
+					dist[nb] = 0
+					queue = append(queue, nb)
+				}
+			}
+			continue
+		}
+		dist[s] = 0
+		queue = append(queue, s)
+	}
+	radius := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(id) {
+			if net.LinkFailed(id, nb) || net.NodeFailed(nb) {
+				continue
+			}
+			if _, seen := dist[nb]; seen {
+				continue
+			}
+			dist[nb] = dist[id] + 1
+			if dist[nb] > radius {
+				radius = dist[nb]
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return radius
+}
+
+// faultSite lists the nodes where an event's news originates.
+func faultSite(ev Event) []topology.NodeID {
+	switch ev.Kind {
+	case LinkDown, LinkUp, LinkFlap, Impair, ClearImpair:
+		return []topology.NodeID{ev.A, ev.B}
+	case NodeCrash, NodeRecover:
+		return []topology.NodeID{ev.Node}
+	case Partition:
+		return ev.Group
+	case ByzantineBurst:
+		return []topology.NodeID{ev.Node}
+	default: // Heal: the news comes up everywhere the cut was; approximate
+		return nil
+	}
+}
+
+// topologyFault reports whether the event changes connectivity (and so
+// warrants a routing reconvergence).
+func topologyFault(k Kind) bool {
+	switch k {
+	case LinkDown, LinkUp, LinkFlap, NodeCrash, NodeRecover, Partition, Heal:
+		return true
+	}
+	return false
+}
+
+// installer arms a delayed table install guarded by a generation
+// counter, so a newer reconvergence supersedes an older one still in
+// flight (its install becomes a no-op).
+type installer struct {
+	gen int
+}
+
+func (ins *installer) arm(sched *sim.Scheduler, delay sim.Time, install func()) {
+	ins.gen++
+	gen := ins.gen
+	sched.After(delay, func() {
+		if ins.gen == gen {
+			install()
+		}
+	})
+}
+
+// LinkStateRerouter re-converges a ground-truth link-state Database on
+// every topology fault: failed links and crashed nodes are masked with
+// negative cost overrides (SPF skips them), tables are recomputed, and —
+// after a modeled flooding+SPF delay — installed on every node. With
+// Install false it is a shadow instance: it measures reconvergence time
+// and churn without touching forwarding (useful to report link-state
+// convergence while the network forwards by another protocol).
+type LinkStateRerouter struct {
+	Net *netsim.Network
+	DB  *linkstate.Database
+	// Install controls whether recomputed tables are installed as node
+	// RouteFuncs after the delay.
+	Install bool
+	// FloodHopDelay is the per-hop LSA propagation delay; the modeled
+	// reconvergence time is radius × FloodHopDelay + ComputeDelay.
+	FloodHopDelay sim.Time
+	// ComputeDelay is the fixed SPF computation cost.
+	ComputeDelay sim.Time
+
+	// Reconverges, TotalDelay and TotalChurn accumulate for experiment
+	// tables (deterministic, obs-independent).
+	Reconverges int
+	TotalDelay  sim.Time
+	TotalChurn  int
+
+	saved map[[2]topology.NodeID]*float64 // pre-mask override state
+	prev  nextHops
+	ins   installer
+	ro    rerouteObs
+}
+
+// NewLinkStateRerouter builds a rerouter with the default delay model
+// (500µs per flooding hop, 100µs SPF).
+func NewLinkStateRerouter(net *netsim.Network, db *linkstate.Database, install bool) *LinkStateRerouter {
+	return &LinkStateRerouter{
+		Net: net, DB: db, Install: install,
+		FloodHopDelay: 500 * sim.Microsecond,
+		ComputeDelay:  100 * sim.Microsecond,
+		saved:         map[[2]topology.NodeID]*float64{},
+	}
+}
+
+// AttachObs binds the rerouter's reconvergence metrics. A nil registry
+// disables again.
+func (r *LinkStateRerouter) AttachObs(reg *obs.Registry) { r.ro.attach(reg, "routing.linkstate") }
+
+// Converge recomputes (and, when Install is set, immediately installs)
+// tables from the current fault state without modeling any delay — call
+// it once at setup for the initial healthy tables.
+func (r *LinkStateRerouter) Converge() {
+	tables := r.recompute()
+	r.prev = tablesNextHops(tables)
+	if r.Install {
+		r.install(tables)
+	}
+}
+
+// Fault implements Observer.
+func (r *LinkStateRerouter) Fault(ev Event, now sim.Time) {
+	if !topologyFault(ev.Kind) {
+		return
+	}
+	tables := r.recompute()
+	cur := tablesNextHops(tables)
+	churn := churnCount(r.prev, cur)
+	r.prev = cur
+	delay := sim.Time(floodRadius(r.Net, faultSite(ev)))*r.FloodHopDelay + r.ComputeDelay
+	r.Reconverges++
+	r.TotalDelay += delay
+	r.TotalChurn += churn
+	if r.ro.reconverges != nil {
+		r.ro.reconverges.Inc()
+		r.ro.delayNs.Observe(float64(delay))
+		r.ro.churn.Observe(float64(churn))
+	}
+	if r.Install {
+		r.ins.arm(r.Net.Sched, delay, func() { r.install(tables) })
+	}
+}
+
+// recompute masks every currently-failed link and crashed node in the
+// database (negative cost ⇒ SPF skips the edge), restores masks for
+// healed elements, and recomputes all tables.
+func (r *LinkStateRerouter) recompute() map[topology.NodeID]*linkstate.Table {
+	for _, l := range r.Net.Graph.Links {
+		down := r.Net.LinkFailed(l.A, l.B) || r.Net.NodeFailed(l.A) || r.Net.NodeFailed(l.B)
+		r.mask(l.A, l.B, down)
+		r.mask(l.B, l.A, down)
+	}
+	return linkstate.Compute(r.DB)
+}
+
+// mask sets or clears the fault override on the directed edge a→b,
+// preserving any pre-existing traffic-engineering override underneath.
+func (r *LinkStateRerouter) mask(a, b topology.NodeID, down bool) {
+	key := [2]topology.NodeID{a, b}
+	prevSaved, masked := r.saved[key]
+	if down {
+		if masked {
+			return
+		}
+		if c, ok := r.DB.Overrides[key]; ok {
+			cc := c
+			r.saved[key] = &cc
+		} else {
+			r.saved[key] = nil
+		}
+		r.DB.SetCost(a, b, -1)
+		return
+	}
+	if !masked {
+		return
+	}
+	if prevSaved != nil {
+		r.DB.SetCost(a, b, *prevSaved)
+	} else {
+		delete(r.DB.Overrides, key)
+	}
+	delete(r.saved, key)
+}
+
+func (r *LinkStateRerouter) install(tables map[topology.NodeID]*linkstate.Table) {
+	for id, tbl := range tables {
+		r.Net.Node(id).Route = tbl.RouteFunc()
+	}
+}
+
+func tablesNextHops(tables map[topology.NodeID]*linkstate.Table) nextHops {
+	nh := make(nextHops, len(tables))
+	for id, tbl := range tables {
+		nh[id] = tbl.Next
+	}
+	return nh
+}
+
+// PathVectorRerouter re-converges a Gao–Rexford path-vector protocol on
+// every topology fault: the protocol's Down/DownNodes maps are synced
+// from the network and Converge recomputes every RIB; the new RouteFuncs
+// are installed after Iterations × IterDelay (path-vector news travels
+// by iterative advertisement, not flooding).
+type PathVectorRerouter struct {
+	Net *netsim.Network
+	PV  *pathvector.Protocol
+	// Install controls whether the recomputed RouteFuncs are installed.
+	Install bool
+	// IterDelay is the modeled time per convergence iteration.
+	IterDelay sim.Time
+
+	Reconverges int
+	TotalDelay  sim.Time
+	TotalChurn  int
+
+	prev nextHops
+	ins  installer
+	ro   rerouteObs
+}
+
+// NewPathVectorRerouter builds a rerouter with the default delay model
+// (5ms per convergence iteration — BGP-style propagation is slow).
+func NewPathVectorRerouter(net *netsim.Network, pv *pathvector.Protocol, install bool) *PathVectorRerouter {
+	return &PathVectorRerouter{Net: net, PV: pv, Install: install, IterDelay: 5 * sim.Millisecond}
+}
+
+// AttachObs binds the rerouter's reconvergence metrics. A nil registry
+// disables again.
+func (r *PathVectorRerouter) AttachObs(reg *obs.Registry) { r.ro.attach(reg, "routing.pathvector") }
+
+// Converge recomputes and (when Install is set) immediately installs
+// routes from the current fault state — the setup call.
+func (r *PathVectorRerouter) Converge() error {
+	if err := r.reconverge(); err != nil {
+		return err
+	}
+	r.prev = r.ribNextHops()
+	if r.Install {
+		r.install()
+	}
+	return nil
+}
+
+// Fault implements Observer.
+func (r *PathVectorRerouter) Fault(ev Event, now sim.Time) {
+	if !topologyFault(ev.Kind) {
+		return
+	}
+	if err := r.reconverge(); err != nil {
+		return // Gao–Rexford guarantees convergence; defensive only
+	}
+	cur := r.ribNextHops()
+	churn := churnCount(r.prev, cur)
+	r.prev = cur
+	delay := sim.Time(r.PV.Iterations) * r.IterDelay
+	r.Reconverges++
+	r.TotalDelay += delay
+	r.TotalChurn += churn
+	if r.ro.reconverges != nil {
+		r.ro.reconverges.Inc()
+		r.ro.delayNs.Observe(float64(delay))
+		r.ro.churn.Observe(float64(churn))
+	}
+	if r.Install {
+		r.ins.arm(r.Net.Sched, delay, func() { r.install() })
+	}
+}
+
+// reconverge syncs the protocol's fault view from the network and
+// recomputes. Converge rebuilds the RIB maps from scratch, so RouteFuncs
+// captured from the previous convergence keep serving the old routes
+// until install replaces them — exactly the stale-routing window a real
+// network has while BGP reconverges.
+func (r *PathVectorRerouter) reconverge() error {
+	for _, l := range r.Net.Graph.Links {
+		r.PV.MarkLink(l.A, l.B, r.Net.LinkFailed(l.A, l.B))
+	}
+	for _, id := range r.Net.Graph.NodeIDs() {
+		r.PV.MarkNode(id, r.Net.NodeFailed(id))
+	}
+	return r.PV.Converge()
+}
+
+func (r *PathVectorRerouter) ribNextHops() nextHops {
+	nh := make(nextHops, len(r.PV.RIBs))
+	for id, rib := range r.PV.RIBs {
+		table := make(map[topology.NodeID]topology.NodeID, len(rib.Best))
+		for dst, route := range rib.Best {
+			if len(route.Path) > 0 {
+				table[dst] = route.Path[0]
+			}
+		}
+		nh[id] = table
+	}
+	return nh
+}
+
+func (r *PathVectorRerouter) install() {
+	for _, id := range r.Net.Graph.NodeIDs() {
+		r.Net.Node(id).Route = r.PV.RouteFunc(id)
+	}
+}
+
+// AdRerouter re-converges an advertisement-driven link-state database
+// (the byzantine-defense substrate): on topology faults every live node
+// re-floods an honest advertisement reflecting its current live links
+// (signed when Keys are provided) and tables are recomputed from the
+// advertised state; on byzantine bursts only the recompute happens — the
+// lying advertisements stay in the database until the next honest
+// re-flood, which is how the poison takes effect.
+//
+// Note what this models under TrustAll: a crashed node's stale
+// advertisement lingers (nobody re-attests its links), so traffic keeps
+// routing into the dead router. SignedTwoSided's mutual attestation
+// kills those edges as soon as the live neighbors re-flood.
+type AdRerouter struct {
+	Net  *netsim.Network
+	DB   *linkstate.AdDatabase
+	Keys map[topology.NodeID]*trust.Principal
+	// Install controls whether recomputed tables are installed.
+	Install bool
+	// FloodHopDelay / ComputeDelay: same delay model as LinkStateRerouter.
+	FloodHopDelay sim.Time
+	ComputeDelay  sim.Time
+
+	Reconverges int
+	TotalDelay  sim.Time
+	TotalChurn  int
+
+	prev nextHops
+	ins  installer
+	ro   rerouteObs
+}
+
+// NewAdRerouter builds an advertisement-database rerouter.
+func NewAdRerouter(net *netsim.Network, db *linkstate.AdDatabase, keys map[topology.NodeID]*trust.Principal, install bool) *AdRerouter {
+	return &AdRerouter{
+		Net: net, DB: db, Keys: keys, Install: install,
+		FloodHopDelay: 500 * sim.Microsecond,
+		ComputeDelay:  100 * sim.Microsecond,
+	}
+}
+
+// AttachObs binds the rerouter's reconvergence metrics. A nil registry
+// disables again.
+func (r *AdRerouter) AttachObs(reg *obs.Registry) { r.ro.attach(reg, "routing.linkstate") }
+
+// Converge floods honest advertisements from every live node, recomputes
+// tables, and (when Install is set) installs them immediately — setup.
+func (r *AdRerouter) Converge() {
+	r.reflood()
+	tables := r.recompute()
+	r.prev = tablesNextHops(tables)
+	if r.Install {
+		r.install(tables)
+	}
+}
+
+// Fault implements Observer.
+func (r *AdRerouter) Fault(ev Event, now sim.Time) {
+	refresh := topologyFault(ev.Kind)
+	if !refresh && ev.Kind != ByzantineBurst {
+		return
+	}
+	if refresh {
+		r.reflood()
+	}
+	tables := r.recompute()
+	cur := tablesNextHops(tables)
+	churn := churnCount(r.prev, cur)
+	r.prev = cur
+	delay := sim.Time(floodRadius(r.Net, faultSite(ev)))*r.FloodHopDelay + r.ComputeDelay
+	r.Reconverges++
+	r.TotalDelay += delay
+	r.TotalChurn += churn
+	if r.ro.reconverges != nil {
+		r.ro.reconverges.Inc()
+		r.ro.delayNs.Observe(float64(delay))
+		r.ro.churn.Observe(float64(churn))
+	}
+	if r.Install {
+		r.ins.arm(r.Net.Sched, delay, func() { r.install(tables) })
+	}
+}
+
+// reflood floods an honest advertisement from every live node, listing
+// only its currently-live links. Crashed nodes flood nothing: their last
+// advertisement goes stale (see the type comment).
+func (r *AdRerouter) reflood() {
+	g := r.Net.Graph
+	for _, id := range g.NodeIDs() {
+		if r.Net.NodeFailed(id) {
+			continue
+		}
+		ad := &linkstate.Advertisement{From: id, Costs: map[topology.NodeID]float64{}}
+		for _, nb := range g.Neighbors(id) {
+			if r.Net.LinkFailed(id, nb) || r.Net.NodeFailed(nb) {
+				continue
+			}
+			l, _ := g.LinkBetween(id, nb)
+			ad.Costs[nb] = l.Cost
+		}
+		if p := r.Keys[id]; p != nil {
+			ad.Sign(p)
+		}
+		r.DB.Flood(ad)
+	}
+}
+
+func (r *AdRerouter) recompute() map[topology.NodeID]*linkstate.Table {
+	tables := make(map[topology.NodeID]*linkstate.Table, len(r.Net.Graph.Nodes))
+	for _, id := range r.Net.Graph.NodeIDs() {
+		next, dist := r.DB.SPF(id)
+		tables[id] = &linkstate.Table{Src: id, Next: next, Dist: dist}
+	}
+	return tables
+}
+
+func (r *AdRerouter) install(tables map[topology.NodeID]*linkstate.Table) {
+	for id, tbl := range tables {
+		r.Net.Node(id).Route = tbl.RouteFunc()
+	}
+}

@@ -463,9 +463,57 @@ func TestE26IntegratedSchemeAvoidsDistortion(t *testing.T) {
 	}
 }
 
+func TestE27MultihomingAndOverlayBeatSingleHomed(t *testing.T) {
+	r := E27Availability(testSeed)
+	single := r.MustGet("single-homed", "availability")
+	multi := r.MustGet("multi-address", "availability")
+	over := r.MustGet("overlay-failover", "availability")
+	if !(single < over && over < multi) {
+		t.Fatalf("availability ordering wrong: single=%v overlay=%v multi=%v", single, over, multi)
+	}
+	if multi < 0.95 {
+		t.Fatalf("multi-address should ride out every fault, got %v", multi)
+	}
+	if r.MustGet("single-homed", "ls-reconv-ms") <= 0 {
+		t.Fatal("link-state shadow instance measured no reconvergence time")
+	}
+	if r.MustGet("single-homed", "route-churn") <= 0 {
+		t.Fatal("path-vector reconvergence produced no route churn")
+	}
+}
+
+func TestE28GoldSurvivesDegradationAndAttestationRejectsBurst(t *testing.T) {
+	r := E28Degradation(testSeed)
+	for _, mode := range []string{"trust-all", "signed-two-sided"} {
+		if r.MustGet(mode+" healthy", "delivery-gold") != 1 || r.MustGet(mode+" healthy", "delivery-be") != 1 {
+			t.Fatalf("%s: healthy phase should deliver everything", mode)
+		}
+		if r.MustGet(mode+" healed", "delivery-gold") != 1 || r.MustGet(mode+" healed", "delivery-be") != 1 {
+			t.Fatalf("%s: healed phase should fully recover", mode)
+		}
+		gold := r.MustGet(mode+" degraded", "delivery-gold")
+		be := r.MustGet(mode+" degraded", "delivery-be")
+		if gold <= be {
+			t.Fatalf("%s: shedding should protect gold over best-effort (gold=%v be=%v)", mode, gold, be)
+		}
+		if r.MustGet(mode+" degraded", "shed-drops") <= 0 {
+			t.Fatalf("%s: shed plane never engaged", mode)
+		}
+	}
+	if ta, s2 := r.MustGet("trust-all degraded", "delivery-gold"), r.MustGet("signed-two-sided degraded", "delivery-gold"); ta >= s2 {
+		t.Fatalf("byzantine burst should cost the trusting plane delivery: trust-all=%v signed=%v", ta, s2)
+	}
+	if r.MustGet("signed-two-sided degraded", "ads-rejected") <= 0 {
+		t.Fatal("attestation should reject the byzantine burst")
+	}
+	if r.MustGet("trust-all degraded", "ads-rejected") != 0 {
+		t.Fatal("trust-all must swallow the burst")
+	}
+}
+
 func TestAllExperimentsRunAndRender(t *testing.T) {
 	results := All(testSeed)
-	if len(results) != 26 {
+	if len(results) != 28 {
 		t.Fatalf("All returned %d results", len(results))
 	}
 	seen := map[string]bool{}

@@ -41,6 +41,143 @@ func (n *Network) LinkFailed(a, b topology.NodeID) bool {
 	return n.failed[linkKey(a, b)]
 }
 
+// FailNode crashes a node: it stops forwarding, delivering, and
+// originating traffic. Packets already in flight toward it are dropped
+// silently at the dead node ("node-down" — a crashed router cannot send
+// error reports); packets subsequently routed at a live neighbor toward
+// the dead one are dropped at the neighbor with reason "peer-down" (the
+// keepalive-loss detection that lets diagnostics localize the crash).
+// The crash map is the source of truth; the dense nodeDown mirror is
+// refreshed here and on every InvalidateTopology rebuild.
+func (n *Network) FailNode(id topology.NodeID) {
+	if n.downNodes == nil {
+		n.downNodes = make(map[topology.NodeID]bool)
+	}
+	n.downNodes[id] = true
+	if int(id) < len(n.nodeDown) {
+		n.nodeDown[id] = true
+	}
+}
+
+// RecoverNode brings a crashed node back. Its routing state (RouteFunc,
+// middleboxes, counters) is whatever it was before the crash; protocols
+// that want to model cold-start reconvergence do so via their fault
+// observers.
+func (n *Network) RecoverNode(id topology.NodeID) {
+	delete(n.downNodes, id)
+	if int(id) < len(n.nodeDown) {
+		n.nodeDown[id] = false
+	}
+}
+
+// NodeFailed reports whether the node is currently crashed.
+func (n *Network) NodeFailed(id topology.NodeID) bool {
+	return n.downNodes[id]
+}
+
+// LinkImpairment describes packet-level damage on one link: each
+// transiting packet is independently corrupted (dropped at the receiver
+// with reason "corrupt") with probability Corrupt, duplicated with
+// probability Duplicate, and delayed by a uniform jitter in
+// [0, ReorderJitter) with probability ReorderProb — enough extra latency
+// to land behind later packets, i.e. reordering. All coin flips come
+// from the impairment's own seeded RNG, so a run is byte-reproducible
+// for a given seed regardless of what else the simulation does.
+type LinkImpairment struct {
+	Corrupt       float64
+	Duplicate     float64
+	ReorderProb   float64
+	ReorderJitter sim.Time
+
+	rng *sim.RNG
+}
+
+// ImpairLink installs (or replaces) a packet impairment on the link
+// between a and b; both directions are affected. rng drives the
+// impairment's coin flips and must be dedicated to it (fork one from
+// the experiment's root RNG); nil gets a fixed-seed generator. The
+// impairment map is the source of truth; the dense mirror is rebuilt
+// here and on every InvalidateTopology rebuild.
+func (n *Network) ImpairLink(a, b topology.NodeID, imp LinkImpairment, rng *sim.RNG) {
+	if rng == nil {
+		rng = sim.NewRNG(1)
+	}
+	imp.rng = rng
+	if n.impairments == nil {
+		n.impairments = make(map[[2]topology.NodeID]*LinkImpairment)
+	}
+	n.impairments[linkKey(a, b)] = &imp
+	n.rebuildImpair()
+}
+
+// ClearImpairment removes the impairment on the link between a and b.
+func (n *Network) ClearImpairment(a, b topology.NodeID) {
+	if n.impairments == nil {
+		return
+	}
+	delete(n.impairments, linkKey(a, b))
+	n.rebuildImpair()
+}
+
+// rebuildImpair refreshes the dense impairment mirror from the map. Off
+// the fast path (only runs when impairments change).
+func (n *Network) rebuildImpair() {
+	n.impair = nil
+	if len(n.impairments) == 0 {
+		return
+	}
+	impair := make([]*LinkImpairment, len(n.Graph.Links))
+	for i, l := range n.Graph.Links {
+		impair[i] = n.impairments[linkKey(l.A, l.B)]
+	}
+	n.impair = impair
+}
+
+// Backlog returns the transmission backlog currently queued on the
+// directed link from→to: how long a packet admitted now would wait
+// before its serialization starts. Zero for idle or unknown links.
+func (n *Network) Backlog(from, to topology.NodeID) sim.Time {
+	li := n.linkIndex(from, to)
+	if li < 0 {
+		return 0
+	}
+	di := 2 * int(li)
+	if n.Graph.Links[li].A != from {
+		di++
+	}
+	if b := n.lt.busy[di] - n.Sched.Now(); b > 0 {
+		return b
+	}
+	return 0
+}
+
+// NodeBacklog returns the largest outbound Backlog across the node's
+// live adjacent links — a cheap local congestion signal for QoS devices
+// (load shedding keyed on egress pressure).
+func (n *Network) NodeBacklog(id topology.NodeID) sim.Time {
+	if n.lt.nlinks != len(n.Graph.Links) {
+		n.InvalidateTopology()
+	}
+	if int(id) >= len(n.lt.adj) {
+		return 0
+	}
+	now := n.Sched.Now()
+	var worst sim.Time
+	for _, e := range n.lt.adj[id] {
+		if n.lt.failed[e.link] {
+			continue
+		}
+		di := 2 * int(e.link)
+		if n.Graph.Links[e.link].A != id {
+			di++
+		}
+		if b := n.lt.busy[di] - now; b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
+
 func linkKey(a, b topology.NodeID) [2]topology.NodeID {
 	if a > b {
 		a, b = b, a
@@ -55,7 +192,9 @@ type Hop struct {
 	// silent loss).
 	Node topology.NodeID
 	// Note is what was learned: "time-exceeded", "destination",
-	// "blocked:<device>" for a disclosing middlebox, or "lost".
+	// "blocked:<device>" for a disclosing middlebox, "peer-down" when a
+	// live node reports its next hop dead, or "lost" when nothing was
+	// (silent middlebox and crashed node alike).
 	Note string
 }
 
@@ -92,6 +231,19 @@ func (n *Network) Traceroute(src topology.NodeID, dst packet.Addr, maxTTL int, m
 			// A silent device: the user learns only that the path goes
 			// dark past the previous hop.
 			hops = append(hops, Hop{TTL: ttl, Note: "lost"})
+			return hops
+		case tr.DropReason == "node-down":
+			// The probe died inside a crashed node. Dead routers cannot
+			// send error reports, so from the outside this is
+			// indistinguishable from a silent loss — localization relies
+			// on a live upstream neighbor reporting "peer-down" instead.
+			hops = append(hops, Hop{TTL: ttl, Note: "lost"})
+			return hops
+		case tr.DropReason == "peer-down":
+			// A live node detected its next hop dead (keepalive loss) and
+			// says so: the crash is localized to the reporter's neighbor
+			// on the path.
+			hops = append(hops, Hop{TTL: ttl, Node: tr.DropNode, Note: "peer-down"})
 			return hops
 		default:
 			// A disclosing device names itself in the drop reason.

@@ -123,3 +123,244 @@ func TestPathMTUProbe(t *testing.T) {
 		t.Fatalf("unreachable mtu = %d", got)
 	}
 }
+
+func TestNodeCrashStopsAllTraffic(t *testing.T) {
+	n, sched := chainNet(t)
+	n.FailNode(3)
+	if !n.NodeFailed(3) || n.NodeFailed(2) {
+		t.Fatal("NodeFailed bookkeeping wrong")
+	}
+	// Transit through the crashed node: the live upstream detects the
+	// dead adjacency and reports it.
+	tr := n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.Run()
+	if tr.Delivered || tr.DropReason != "peer-down" || tr.DropNode != 2 {
+		t.Fatalf("transit via crashed node: %+v", tr)
+	}
+	// Delivery at the crashed node: silent.
+	tr = n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(3, 1), 16))
+	sched.Run()
+	if tr.Delivered || tr.DropReason != "peer-down" {
+		t.Fatalf("delivery to crashed node: %+v", tr)
+	}
+	// Origination at the crashed node: dies inside, invisible outside.
+	tr = n.Send(3, mkPkt(t, packet.MakeAddr(3, 1), packet.MakeAddr(4, 1), 16))
+	sched.Run()
+	if tr.Delivered || tr.DropReason != "node-down" {
+		t.Fatalf("send from crashed node: %+v", tr)
+	}
+	// Recovery restores everything.
+	n.RecoverNode(3)
+	tr = n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.Run()
+	if !tr.Delivered {
+		t.Fatalf("post-recovery packet lost: %q", tr.DropReason)
+	}
+}
+
+func TestNodeCrashInFlightPacketDiesSilently(t *testing.T) {
+	n, sched := chainNet(t)
+	// Crash node 3 while the packet is on the wire 2→3: the arrival
+	// check (not the upstream peer check) must kill it.
+	sched.At(1500*sim.Microsecond, func() { n.FailNode(3) })
+	tr := n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.Run()
+	if tr.Delivered || tr.DropReason != "node-down" || tr.DropNode != 3 {
+		t.Fatalf("in-flight packet at crash: %+v", tr)
+	}
+}
+
+func TestNodeCrashSurvivesTopologyRebuild(t *testing.T) {
+	n, sched := chainNet(t)
+	n.FailNode(3)
+	n.InvalidateTopology()
+	tr := n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.Run()
+	if tr.Delivered || tr.DropReason != "peer-down" {
+		t.Fatalf("crash state lost across rebuild: %+v", tr)
+	}
+	n.RecoverNode(3)
+	n.InvalidateTopology()
+	tr = n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.Run()
+	if !tr.Delivered {
+		t.Fatalf("recovery lost across rebuild: %q", tr.DropReason)
+	}
+}
+
+// Regression for the RestoreLink/InvalidateTopology interaction: the
+// failure map is the source of truth and the dense mirror must follow it
+// through fail → rebuild → restore in any interleaving.
+func TestRestoreAfterInvalidateTopology(t *testing.T) {
+	n, sched := chainNet(t)
+	n.FailLink(2, 3)
+	n.InvalidateTopology() // rebuild re-derives the failed flag from the map
+	tr := n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.Run()
+	if tr.Delivered || tr.DropReason != "link-down" {
+		t.Fatalf("failure lost across rebuild: %+v", tr)
+	}
+	n.RestoreLink(2, 3)
+	tr = n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.Run()
+	if !tr.Delivered {
+		t.Fatalf("restore after rebuild left a stale failed flag: %q", tr.DropReason)
+	}
+	// And the other interleaving: restore, then rebuild.
+	n.FailLink(2, 3)
+	n.RestoreLink(2, 3)
+	n.InvalidateTopology()
+	tr = n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.Run()
+	if !tr.Delivered {
+		t.Fatalf("rebuild resurrected a restored failure: %q", tr.DropReason)
+	}
+}
+
+func TestTracerouteLocalizesCrashedNode(t *testing.T) {
+	n, _ := chainNet(t)
+	n.FailNode(3)
+	hops := n.Traceroute(1, packet.MakeAddr(4, 1), 10, nil)
+	last := hops[len(hops)-1]
+	// Node 2 answers TTL=1; at TTL=2 node 2 reports its peer dead. The
+	// crash is localized: it is 2's next hop on the path.
+	if last.Node != 2 || last.Note != "peer-down" {
+		t.Fatalf("crash not localized: %+v", hops)
+	}
+	if len(hops) != 2 || hops[0].Node != 2 || hops[0].Note != "time-exceeded" {
+		t.Fatalf("unexpected report: %+v", hops)
+	}
+}
+
+func TestTracerouteDistinguishesPartitionFromSilentDrop(t *testing.T) {
+	// Same chain, two failure modes at the same place. A partition edge
+	// is disclosed by the live node ("link-down" from node 2); a silent
+	// middlebox yields only "lost" with no responding node. The reports
+	// must differ — this is the §VI-A fault-isolation asymmetry.
+	n, _ := chainNet(t)
+	n.FailLink(2, 3) // partition between 2 and 3
+	partitioned := n.Traceroute(1, packet.MakeAddr(4, 1), 10, nil)
+	lastP := partitioned[len(partitioned)-1]
+	if lastP.Node != 2 || lastP.Note != "link-down" {
+		t.Fatalf("partition edge not disclosed: %+v", partitioned)
+	}
+
+	n2, _ := chainNet(t)
+	n2.Node(3).AddMiddlebox(&dropBox{name: "covert", silent: true})
+	silent := n2.Traceroute(1, packet.MakeAddr(4, 1), 10, nil)
+	lastS := silent[len(silent)-1]
+	if lastS.Node != 0 || lastS.Note != "lost" {
+		t.Fatalf("silent drop leaked identity: %+v", silent)
+	}
+	if lastP.Note == lastS.Note {
+		t.Fatal("partition and silent drop reports must be distinguishable")
+	}
+}
+
+func TestImpairmentCorruptionAndDeterminism(t *testing.T) {
+	run := func() (delivered int, reasons map[string]int) {
+		n, sched := chainNet(t)
+		n.ImpairLink(2, 3, LinkImpairment{Corrupt: 0.3}, sim.NewRNG(99))
+		reasons = map[string]int{}
+		for i := 0; i < 200; i++ {
+			tr := n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+			sched.Run()
+			if tr.Delivered {
+				delivered++
+			} else {
+				reasons[tr.DropReason]++
+			}
+		}
+		return delivered, reasons
+	}
+	d1, r1 := run()
+	d2, r2 := run()
+	if d1 != d2 || r1["corrupt"] != r2["corrupt"] {
+		t.Fatalf("impairment not deterministic: %d/%v vs %d/%v", d1, r1, d2, r2)
+	}
+	if r1["corrupt"] < 30 || r1["corrupt"] > 90 {
+		t.Fatalf("corrupt rate implausible for p=0.3: %v", r1)
+	}
+	if d1+r1["corrupt"] != 200 {
+		t.Fatalf("unexpected drop reasons: %v", r1)
+	}
+}
+
+func TestImpairmentDuplication(t *testing.T) {
+	n, sched := chainNet(t)
+	n.ImpairLink(2, 3, LinkImpairment{Duplicate: 1}, sim.NewRNG(5))
+	var delivered int
+	n.Node(4).Deliver = func(nd *Node, tr *Trace, data []byte) { delivered++ }
+	tr := n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.Run()
+	if !tr.Delivered {
+		t.Fatalf("original lost: %q", tr.DropReason)
+	}
+	if delivered != 2 {
+		t.Fatalf("deliveries = %d, want original + duplicate", delivered)
+	}
+	if n.Stats.Get("dup-injected") != 1 {
+		t.Fatalf("dup-injected = %d", n.Stats.Get("dup-injected"))
+	}
+	n.ClearImpairment(2, 3)
+	delivered = 0
+	n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.Run()
+	if delivered != 1 {
+		t.Fatalf("impairment not cleared: %d deliveries", delivered)
+	}
+}
+
+func TestImpairmentReorder(t *testing.T) {
+	// Two back-to-back packets; the first gets jittered past the second.
+	n, sched := chainNet(t)
+	imp := LinkImpairment{ReorderProb: 1, ReorderJitter: 20 * sim.Millisecond}
+	// Use an RNG stream whose first draws jitter the first packet far
+	// more than the second (deterministic: fixed seed, fixed order).
+	n.ImpairLink(2, 3, imp, sim.NewRNG(1))
+	var order []sim.Time
+	n.Node(4).Deliver = func(nd *Node, tr *Trace, data []byte) { order = append(order, tr.DoneAt) }
+	a := n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	b := n.Send(1, mkPkt(t, packet.MakeAddr(1, 1), packet.MakeAddr(4, 1), 16))
+	sched.Run()
+	if !a.Delivered || !b.Delivered {
+		t.Fatalf("reorder lost packets: %q %q", a.DropReason, b.DropReason)
+	}
+	if len(order) != 2 || order[0] >= order[1] {
+		t.Fatalf("arrivals not strictly ordered: %v", order)
+	}
+	if a.DoneAt == b.DoneAt {
+		t.Fatal("jitter had no effect")
+	}
+}
+
+func TestBacklogReporting(t *testing.T) {
+	n, sched := chainNet(t)
+	if n.Backlog(1, 2) != 0 || n.NodeBacklog(1) != 0 {
+		t.Fatal("idle link reports backlog")
+	}
+	// Queue several large packets onto 1→2; backlog must be visible
+	// before they serialize out.
+	big := make([]byte, 40000)
+	for i := 0; i < 5; i++ {
+		data, err := packet.Serialize(
+			&packet.TIP{TTL: 16, Proto: packet.LayerTypeRaw,
+				Src: packet.MakeAddr(1, 1), Dst: packet.MakeAddr(4, 1)},
+			&packet.Raw{Data: big})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Send(1, data)
+	}
+	var seen sim.Time
+	sched.At(10*sim.Microsecond, func() {
+		seen = n.Backlog(1, 2)
+		if nb := n.NodeBacklog(1); nb != seen {
+			t.Fatalf("NodeBacklog %v != worst link backlog %v", nb, seen)
+		}
+	})
+	sched.Run()
+	if seen == 0 {
+		t.Fatal("queued packets reported zero backlog")
+	}
+}

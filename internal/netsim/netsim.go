@@ -189,6 +189,19 @@ type Network struct {
 	lt     linkTable
 	failed map[[2]topology.NodeID]bool
 
+	// downNodes is the source of truth for crashed nodes; nodeDown is its
+	// dense mirror (indexed by NodeID) for the forwarding fast path. Both
+	// follow the same rebuild contract as the link failure map/mirror.
+	downNodes map[topology.NodeID]bool
+	nodeDown  []bool
+
+	// impairments is the source of truth for per-link packet impairment
+	// (corruption/duplication/reordering); impair is its dense mirror
+	// indexed by link index, nil when no link is impaired so the healthy
+	// fast path pays a single nil check.
+	impairments map[[2]topology.NodeID]*LinkImpairment
+	impair      []*LinkImpairment
+
 	// obs/tracer are the observability hooks; both nil when disabled,
 	// and every instrumented site is a single nil check so the
 	// zero-alloc forwarding invariant holds with obs off.
@@ -296,8 +309,9 @@ func (n *Network) AttachObs(reg *obs.Registry, tr *obs.Tracer) {
 // live Network (adding links through the Graph directly does not notify
 // the simulator; as a backstop, the table also rebuilds itself when it
 // notices the Graph's link count changed). Per-link backlog is preserved
-// across rebuilds (link indices are append-only), and failure state is
-// re-derived from the FailLink map, so in-flight traffic and injected
+// across rebuilds (link indices are append-only), and fault state — link
+// failures, node crashes, and link impairments — is re-derived from the
+// FailLink/FailNode/ImpairLink maps, so in-flight traffic and injected
 // faults survive a rebuild.
 func (n *Network) InvalidateTopology() {
 	g := n.Graph
@@ -329,6 +343,22 @@ func (n *Network) InvalidateTopology() {
 		}
 	}
 	n.lt = linkTable{adj: adj, busy: busy, failed: failed, nlinks: len(g.Links)}
+
+	nodeDown := make([]bool, maxID+1)
+	for id := range n.downNodes {
+		if int(id) < len(nodeDown) {
+			nodeDown[id] = true
+		}
+	}
+	n.nodeDown = nodeDown
+	n.impair = nil
+	if len(n.impairments) > 0 {
+		impair := make([]*LinkImpairment, len(g.Links))
+		for i, l := range g.Links {
+			impair[i] = n.impairments[linkKey(l.A, l.B)]
+		}
+		n.impair = impair
+	}
 
 	nodesByID := make([]*Node, maxID+1)
 	for id, nd := range n.nodes {
@@ -524,6 +554,14 @@ func (n *Network) dropFlight(f *flight, node topology.NodeID, reason string) {
 // it is re-decoded only after a middlebox transform.
 func (nd *Node) process(f *flight) {
 	n := nd.Net
+	// A crashed node neither forwards, delivers, nor originates. The drop
+	// is silent from the outside ("node-down" never names a responding
+	// device): a dead router cannot send error reports, so diagnosis must
+	// come from the upstream neighbor's "peer-down" detection instead.
+	if n.nodeDown[nd.ID] {
+		n.dropFlight(f, nd.ID, "node-down")
+		return
+	}
 	dir := f.dir
 	if dir != Sending {
 		if f.tip.Dst.Provider() == uint16(nd.ID) {
@@ -688,6 +726,13 @@ func (n *Network) transmit(f *flight, from, to topology.NodeID, li int32) {
 		n.dropFlight(f, from, "link-down")
 		return
 	}
+	// A dead adjacency is detected by the live endpoint (keepalive loss),
+	// so the drop is attributed to the upstream node — this is what lets
+	// traceroute localize a crashed node to one hop.
+	if n.nodeDown[to] {
+		n.dropFlight(f, from, "peer-down")
+		return
+	}
 	link := &n.Graph.Links[li]
 	di := 2 * int(li)
 	if link.A != from {
@@ -710,9 +755,56 @@ func (n *Network) transmit(f *flight, from, to topology.NodeID, li int32) {
 	busy += txTime
 	n.lt.busy[di] = busy
 	arrive := busy + link.Latency + n.HopProcessing
+	if n.impair != nil {
+		if imp := n.impair[li]; imp != nil && !imp.apply(n, f, to, arrive, txTime, &arrive) {
+			return
+		}
+	}
 	f.node = n.Node(to)
 	f.dir = Forwarding
 	n.Sched.At(arrive, f.run)
+}
+
+// apply runs one impaired link's coin flips on a transiting packet.
+// Returns false when the packet was consumed (corrupted and dropped);
+// otherwise *out holds the possibly-jittered arrival time. The RNG is
+// owned by the impairment and advances once per probability configured,
+// so outcomes are a pure function of the impairment seed and the order
+// of transmissions over the link.
+func (imp *LinkImpairment) apply(n *Network, f *flight, to topology.NodeID, arrive, txTime sim.Time, out *sim.Time) bool {
+	if imp.Corrupt > 0 && imp.rng.Bool(imp.Corrupt) {
+		// The corruption is detected by the receiver's checksum: the drop
+		// is attributed to the downstream end, reason "corrupt".
+		n.dropFlight(f, to, "corrupt")
+		return false
+	}
+	if imp.Duplicate > 0 && imp.rng.Bool(imp.Duplicate) {
+		n.duplicate(f, to, arrive+txTime)
+	}
+	if imp.ReorderProb > 0 && imp.rng.Bool(imp.ReorderProb) && imp.ReorderJitter > 0 {
+		*out = arrive + sim.Time(imp.rng.Float64()*float64(imp.ReorderJitter))
+	}
+	return true
+}
+
+// duplicate injects a copy of a transiting packet, arriving one extra
+// serialization time behind the original. The copy gets its own flight
+// and internal trace; its fate shows up in the usual delivery/drop
+// counters (tagged by the "dup-injected" stat), not in the original
+// packet's trace.
+func (n *Network) duplicate(f *flight, to topology.NodeID, arrive sim.Time) {
+	g := n.newFlight()
+	g.t = &Trace{SentAt: f.t.SentAt, Events: make([]TraceEvent, 0, n.TraceEventCap)}
+	g.data = append([]byte(nil), f.data...)
+	if err := g.tip.DecodeReuse(g.data); err != nil {
+		n.releaseFlight(g)
+		return
+	}
+	g.node = n.Node(to)
+	g.dir = Forwarding
+	g.hops = f.hops
+	n.Stats.Inc("dup-injected")
+	n.Sched.At(arrive, g.run)
 }
 
 // DeliveryRatio returns delivered / (delivered + dropped), or 0 when no

@@ -67,6 +67,12 @@ type Protocol struct {
 	// NoExportTo suppresses all exports from a node to a neighbor
 	// (de-peering, a competitive move).
 	NoExportTo map[[2]topology.NodeID]bool
+	// Down marks links currently failed (key normalized low-ID-first) and
+	// DownNodes marks crashed routers; Converge ignores both, so a
+	// re-converge after updating them models the protocol reacting to a
+	// fault. Nil maps mean a fully healthy topology.
+	Down      map[[2]topology.NodeID]bool
+	DownNodes map[topology.NodeID]bool
 
 	RIBs map[topology.NodeID]*RIB
 	// Iterations is how many rounds convergence took.
@@ -120,16 +126,25 @@ func (p *Protocol) Converge() error {
 	ids := p.G.NodeIDs()
 	p.RIBs = make(map[topology.NodeID]*RIB, len(ids))
 	for _, id := range ids {
-		p.RIBs[id] = &RIB{Node: id, Best: map[topology.NodeID]Route{
-			id: {Dst: id, Path: nil, LearnedFrom: topology.Customer, LocalPref: 1 << 20},
-		}}
+		best := map[topology.NodeID]Route{}
+		// A crashed router originates nothing, not even its own prefix.
+		if !p.DownNodes[id] {
+			best[id] = Route{Dst: id, Path: nil, LearnedFrom: topology.Customer, LocalPref: 1 << 20}
+		}
+		p.RIBs[id] = &RIB{Node: id, Best: best}
 	}
 	maxIter := 4*len(ids) + 10
 	for iter := 0; iter < maxIter; iter++ {
 		changed := false
 		for _, id := range ids {
+			if p.DownNodes[id] {
+				continue // crashed: learns nothing
+			}
 			rib := p.RIBs[id]
 			for _, nb := range p.G.Neighbors(id) {
+				if p.DownNodes[nb] || p.linkDown(id, nb) {
+					continue // dead session: no routes cross it
+				}
 				nbClassAtNb, _ := p.G.RelFrom(nb, id) // what id is to nb
 				if p.NoExportTo[[2]topology.NodeID{nb, id}] {
 					continue
@@ -177,6 +192,44 @@ func (p *Protocol) Converge() error {
 		}
 	}
 	return fmt.Errorf("pathvector: no convergence after %d iterations", maxIter)
+}
+
+// linkDown reports whether the a–b link is marked failed.
+func (p *Protocol) linkDown(a, b topology.NodeID) bool {
+	if p.Down == nil {
+		return false
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return p.Down[[2]topology.NodeID{a, b}]
+}
+
+// MarkLink sets or clears the failed flag for the a–b link.
+func (p *Protocol) MarkLink(a, b topology.NodeID, down bool) {
+	if a > b {
+		a, b = b, a
+	}
+	if p.Down == nil {
+		p.Down = make(map[[2]topology.NodeID]bool)
+	}
+	if down {
+		p.Down[[2]topology.NodeID{a, b}] = true
+	} else {
+		delete(p.Down, [2]topology.NodeID{a, b})
+	}
+}
+
+// MarkNode sets or clears the crashed flag for a router.
+func (p *Protocol) MarkNode(id topology.NodeID, down bool) {
+	if p.DownNodes == nil {
+		p.DownNodes = make(map[topology.NodeID]bool)
+	}
+	if down {
+		p.DownNodes[id] = true
+	} else {
+		delete(p.DownNodes, id)
+	}
 }
 
 func samePath(a, b Route) bool {

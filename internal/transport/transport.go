@@ -17,6 +17,8 @@
 package transport
 
 import (
+	"fmt"
+
 	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/sim"
@@ -32,10 +34,24 @@ type Config struct {
 	Window int
 	// SegmentSize is payload bytes per segment.
 	SegmentSize int
-	// RTO is the retransmission timeout.
+	// RTO is the base retransmission timeout.
 	RTO sim.Time
 	// MaxRetries gives up on a segment after this many retransmissions.
 	MaxRetries int
+	// Backoff multiplies the timeout on every successive retransmission
+	// of a segment (exponential backoff). Values <= 1 keep the legacy
+	// fixed-RTO loop, so zero-valued manual configs are unchanged.
+	Backoff float64
+	// MaxRTO caps the backed-off timeout; zero means uncapped.
+	MaxRTO sim.Time
+	// JitterFrac stretches each timeout by a uniformly random factor in
+	// [1, 1+JitterFrac), drawn from a deterministic per-sender RNG — the
+	// desynchronization jitter of real transports without giving up
+	// reproducibility. Zero disables jitter.
+	JitterFrac float64
+	// Seed salts the jitter RNG (mixed with the connection endpoints, so
+	// concurrent transfers jitter independently at the same seed).
+	Seed uint64
 	// ContentType declares what the stream carries (TTP.Next on data
 	// segments). Observers classify by it: a stream of Crypto content
 	// is visibly encrypted even though each segment is a fragment.
@@ -43,9 +59,11 @@ type Config struct {
 	ContentType packet.LayerType
 }
 
-// DefaultConfig returns sane laptop-scale defaults.
+// DefaultConfig returns sane laptop-scale defaults: exponential backoff
+// (doubling, capped at one second) with 10% deterministic jitter.
 func DefaultConfig() Config {
 	return Config{Window: 8, SegmentSize: 512, RTO: 60 * sim.Millisecond, MaxRetries: 30,
+		Backoff: 2, MaxRTO: sim.Second, JitterFrac: 0.1,
 		ContentType: packet.LayerTypeRaw}
 }
 
@@ -61,6 +79,12 @@ type Stats struct {
 	Retransmissions int
 	// Elapsed is the transfer duration.
 	Elapsed sim.Time
+	// Failed reports the transfer gave up, and FailReason says why and
+	// where — the terminal degrade signal an application can act on
+	// (switch address, fall back to an overlay, tell the user) instead
+	// of a silent stall.
+	Failed     bool
+	FailReason string
 }
 
 // Receiver reassembles a byte stream delivered to a node. Install wires
@@ -142,13 +166,15 @@ type Sender struct {
 	port uint16
 	src  uint16
 
-	segments [][]byte
-	acked    uint32 // cumulative: all < acked delivered
-	inflight map[uint32]sim.EventID
-	retries  map[uint32]int
-	stats    Stats
-	started  sim.Time
-	failed   bool
+	segments   [][]byte
+	acked      uint32 // cumulative: all < acked delivered
+	inflight   map[uint32]sim.EventID
+	retries    map[uint32]int
+	stats      Stats
+	started    sim.Time
+	failed     bool
+	failReason string
+	rng        *sim.RNG // jitter source, seeded per connection
 }
 
 // NewSender prepares a transfer of data from node src to dstAddr:port.
@@ -162,6 +188,7 @@ func NewSender(net *netsim.Network, src topology.NodeID, dstAddr packet.Addr, po
 		port: port, src: 40000,
 		inflight: map[uint32]sim.EventID{},
 		retries:  map[uint32]int{},
+		rng:      sim.NewRNG(cfg.Seed<<20 ^ uint64(src)<<36 ^ uint64(port)<<16 ^ 0x7475736c65),
 	}
 	for off := 0; off < len(data); off += cfg.SegmentSize {
 		end := off + cfg.SegmentSize
@@ -202,6 +229,8 @@ func (s *Sender) Stats() Stats {
 	if st.Done {
 		st.Elapsed = s.stats.Elapsed
 	}
+	st.Failed = s.failed
+	st.FailReason = s.failReason
 	return st
 }
 
@@ -231,12 +260,34 @@ func (s *Sender) transmit(seq uint32) {
 		&packet.TTP{SrcPort: s.src, DstPort: s.port, Seq: seq, Next: s.contentType()},
 		&packet.Raw{Data: s.segments[seq]})
 	if err != nil {
-		s.failed = true
+		s.fail("serialize: " + err.Error())
 		return
 	}
 	s.stats.Sent++
 	s.net.Send(s.node, data)
-	s.inflight[seq] = s.net.Sched.After(s.cfg.RTO, func() { s.timeout(seq) })
+	s.inflight[seq] = s.net.Sched.After(s.rto(s.retries[seq]), func() { s.timeout(seq) })
+}
+
+// rto returns the timeout armed for a segment on its attempt'th
+// retransmission (0 = first transmission): base RTO, multiplied by
+// Backoff per prior attempt (capped at MaxRTO), stretched by seeded
+// jitter. With Backoff <= 1 this is the legacy fixed RTO (plus jitter
+// when configured).
+func (s *Sender) rto(attempt int) sim.Time {
+	d := s.cfg.RTO
+	if s.cfg.Backoff > 1 {
+		for i := 0; i < attempt; i++ {
+			d = sim.Time(float64(d) * s.cfg.Backoff)
+			if s.cfg.MaxRTO > 0 && d >= s.cfg.MaxRTO {
+				d = s.cfg.MaxRTO
+				break
+			}
+		}
+	}
+	if s.cfg.JitterFrac > 0 {
+		d += sim.Time(s.rng.Float64() * s.cfg.JitterFrac * float64(d))
+	}
+	return d
 }
 
 func (s *Sender) timeout(seq uint32) {
@@ -245,11 +296,27 @@ func (s *Sender) timeout(seq uint32) {
 	}
 	s.retries[seq]++
 	if s.retries[seq] > s.cfg.MaxRetries {
-		s.failed = true
+		s.fail(fmt.Sprintf("segment %d unacknowledged after %d retransmissions", seq, s.cfg.MaxRetries))
 		return
 	}
 	s.stats.Retransmissions++
 	s.transmit(seq)
+}
+
+// fail records the first terminal failure and cancels every outstanding
+// retransmission timer, so a partitioned transfer stops promptly instead
+// of letting each in-flight segment exhaust its retries independently.
+func (s *Sender) fail(reason string) {
+	if s.failed {
+		return
+	}
+	s.failed = true
+	s.failReason = reason
+	s.stats.Elapsed = s.net.Sched.Now() - s.started
+	for seq, id := range s.inflight {
+		s.net.Sched.Cancel(id)
+		delete(s.inflight, seq)
+	}
 }
 
 // handleAck consumes ACKs for our connection; returns false otherwise.

@@ -123,6 +123,62 @@ func TestTransferGivesUpOnPartition(t *testing.T) {
 	if s.Done() {
 		t.Fatal("cannot be done across a partition")
 	}
+	// The give-up is surfaced, not silent: Stats carries the terminal
+	// failure and its reason (which segment ran out of retries).
+	st := s.Stats()
+	if !st.Failed {
+		t.Fatalf("Stats().Failed = false after give-up: %+v", st)
+	}
+	if st.FailReason == "" {
+		t.Fatal("Stats().FailReason empty: the degrade signal must say why")
+	}
+	if st.Elapsed == 0 {
+		t.Fatal("failed transfer should still report how long it tried")
+	}
+}
+
+func TestBackoffSpacingAndDeterminism(t *testing.T) {
+	// On a partitioned path the retransmission timers must space out
+	// exponentially, and two runs at the same seed must behave
+	// byte-identically (same give-up time, same send count).
+	run := func() (Stats, sim.Time) {
+		net, sched := chain(3)
+		net.FailLink(2, 3)
+		cfg := DefaultConfig()
+		cfg.MaxRetries = 4
+		s := NewSender(net, 1, packet.MakeAddr(3, 1), 9000, payload(100), cfg)
+		InstallReceiver(net, 3, 9000)
+		s.Start()
+		sched.Run()
+		return s.Stats(), sched.Now()
+	}
+	a, ta := run()
+	b, tb := run()
+	if !a.Failed || !b.Failed {
+		t.Fatalf("both runs must give up: %+v %+v", a, b)
+	}
+	if a != b || ta != tb {
+		t.Fatalf("same seed must reproduce byte-identically:\n%+v @%v\n%+v @%v", a, ta, b, tb)
+	}
+	// Fixed-RTO would give up after (MaxRetries+1)*RTO = 300ms; doubling
+	// backoff needs 60+120+240+480+960 ≈ 1.86s before the final timer
+	// fires (jitter stretches it further). Assert we are clearly in the
+	// backoff regime.
+	if ta < 1500*sim.Millisecond {
+		t.Fatalf("give-up at %v: retransmission timers did not back off", ta)
+	}
+	// And a fixed-RTO config (Backoff <= 1, no jitter) keeps the legacy
+	// timing for zero-valued manual configs.
+	net, sched := chain(3)
+	net.FailLink(2, 3)
+	cfg := Config{Window: 8, SegmentSize: 512, RTO: 60 * sim.Millisecond, MaxRetries: 4}
+	s := NewSender(net, 1, packet.MakeAddr(3, 1), 9000, payload(100), cfg)
+	InstallReceiver(net, 3, 9000)
+	s.Start()
+	sched.Run()
+	if got, want := sched.Now(), 5*60*sim.Millisecond; got != want {
+		t.Fatalf("legacy fixed-RTO give-up at %v, want %v", got, want)
+	}
 }
 
 func TestReceiverReassemblyOutOfOrderDuplicates(t *testing.T) {
