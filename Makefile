@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-json experiments metrics fuzz-smoke golden-check ci
+.PHONY: all build vet test race bench-smoke bench bench-json experiments metrics fuzz-smoke golden-check invariant-sweep cover ci
 
 all: vet build test
 
@@ -63,6 +63,20 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzDecode$$' -fuzztime=30s ./internal/packet
 	$(GO) test -fuzz='^FuzzDecodeReuse$$' -fuzztime=30s ./internal/packet
 	$(GO) test -fuzz='^FuzzFaultPlan$$' -fuzztime=30s ./internal/chaos
+	$(GO) test -fuzz='^FuzzShrinkRoundTrip$$' -fuzztime=30s ./internal/invariant
+
+# Property-based invariant sweeps: seeded random topologies, traffic, and
+# fault plans run with the runtime invariant checker armed (see
+# cmd/tussle-check). Two fixed seeds so the CI corpus is reproducible;
+# failures shrink to minimal reproducers automatically.
+invariant-sweep:
+	$(GO) run ./cmd/tussle-check -trials 500 -seed 42
+	$(GO) run ./cmd/tussle-check -trials 500 -seed 7
+
+# Per-package statement coverage (the CI cover gate publishes this table
+# in the job summary).
+cover:
+	$(GO) test -cover ./...
 
 # Golden-determinism guard: regenerating EXPERIMENTS.md from the current
 # code must be a no-op, or a behavior change slipped through without its
@@ -70,4 +84,4 @@ fuzz-smoke:
 golden-check: experiments
 	git diff --exit-code EXPERIMENTS.md
 
-ci: vet build test race bench-smoke fuzz-smoke golden-check
+ci: vet build test race bench-smoke fuzz-smoke golden-check invariant-sweep

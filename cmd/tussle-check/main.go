@@ -1,0 +1,129 @@
+// Command tussle-check runs property-based invariant sweeps over the
+// simulator: seeded random topologies, traffic matrices, and chaos fault
+// plans, executed with the runtime invariant checker armed. Failures are
+// automatically shrunk (delta debugging over the fault plan and traffic
+// matrix) to minimal reproducers emitted as canonical JSON.
+//
+// Usage:
+//
+//	tussle-check -trials 500 -seed 42                 # sweep
+//	tussle-check -invariants conservation,loop-free   # arm a subset
+//	tussle-check -repro repro.json                    # write first shrunk repro
+//	tussle-check -replay repro.json                   # re-run a reproducer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/invariant"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tussle-check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		trials     = fs.Int("trials", 100, "number of seeded scenarios to run")
+		seed       = fs.Uint64("seed", 42, "sweep seed (salts every trial)")
+		invariants = fs.String("invariants", "all", "comma-separated invariant subset, or \"all\"")
+		shrink     = fs.Bool("shrink", true, "shrink failures to minimal reproducers")
+		maxShrink  = fs.Int("maxshrink", 400, "max candidate runs per shrink")
+		reproPath  = fs.String("repro", "", "write the first shrunk reproducer to this file")
+		replayPath = fs.String("replay", "", "replay a reproducer file instead of sweeping")
+		verbose    = fs.Bool("v", false, "print per-failure violation details")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	enabled, err := invariant.ParseSet(*invariants)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	if *replayPath != "" {
+		return replay(*replayPath, enabled, stdout, stderr)
+	}
+
+	res := invariant.Sweep(invariant.Config{
+		Trials:        *trials,
+		Seed:          *seed,
+		Invariants:    enabled,
+		Shrink:        *shrink,
+		MaxShrinkRuns: *maxShrink,
+	})
+	if res.Clean() {
+		fmt.Fprintf(stdout, "tussle-check: %d trials clean (seed %d, %d invariants armed)\n",
+			res.Trials, *seed, len(enabled))
+		return 0
+	}
+
+	fmt.Fprintf(stdout, "tussle-check: %d of %d trials FAILED (seed %d)\n",
+		len(res.Failures), res.Trials, *seed)
+	for _, f := range res.Failures {
+		fmt.Fprintf(stdout, "  trial %d (seed %d): %d violation(s), first: %s\n",
+			f.Trial, f.Seed, len(f.Violations), f.Violations[0].String())
+		if *verbose {
+			for _, v := range f.Violations[1:] {
+				fmt.Fprintf(stdout, "    %s\n", v.String())
+			}
+		}
+		if f.Repro != nil {
+			fmt.Fprintf(stdout, "    shrunk: %d plan events, %d traffic entries\n",
+				len(f.Repro.Scenario.Plan.Events), len(f.Repro.Scenario.Traffic))
+		}
+	}
+	if *reproPath != "" {
+		if err := writeFirstRepro(res, *reproPath); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "reproducer written to %s\n", *reproPath)
+	}
+	return 1
+}
+
+// writeFirstRepro emits the first shrunk reproducer as canonical JSON.
+func writeFirstRepro(res *invariant.Result, path string) error {
+	for _, f := range res.Failures {
+		if f.Repro == nil {
+			continue
+		}
+		buf, err := f.Repro.Encode()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, buf, 0o644)
+	}
+	return fmt.Errorf("tussle-check: no shrunk reproducer to write")
+}
+
+// replay re-runs a reproducer file and reports whether it still fires.
+func replay(path string, enabled map[string]bool, stdout, stderr io.Writer) int {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	r, err := invariant.ParseRepro(buf)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	vs := invariant.Replay(r, enabled)
+	if len(vs) == 0 {
+		fmt.Fprintf(stdout, "tussle-check: reproducer %s did NOT fire (0 violations)\n", path)
+		return 1
+	}
+	fmt.Fprintf(stdout, "tussle-check: reproducer fired %d violation(s):\n", len(vs))
+	for _, v := range vs {
+		fmt.Fprintf(stdout, "  %s\n", v.String())
+	}
+	return 0
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunCleanSweep(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-trials", "25", "-seed", "42"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s, stdout: %s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "25 trials clean") {
+		t.Fatalf("summary missing: %q", out.String())
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	run([]string{"-trials", "10", "-seed", "7"}, &a, &bytes.Buffer{})
+	run([]string{"-trials", "10", "-seed", "7"}, &b, &bytes.Buffer{})
+	if a.String() != b.String() {
+		t.Fatalf("same flags, different output:\n%q\nvs\n%q", a.String(), b.String())
+	}
+}
+
+func TestRunRejectsUnknownInvariant(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-invariants", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown invariant") {
+		t.Fatalf("stderr missing diagnosis: %q", errb.String())
+	}
+}
+
+func TestRunInvariantSubset(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-trials", "5", "-seed", "3", "-invariants", "conservation,clock"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "2 invariants armed") {
+		t.Fatalf("summary should report the armed subset: %q", out.String())
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-replay", filepath.Join(t.TempDir(), "nope.json")}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestReplayRejectsMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"bogus":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-replay", path}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

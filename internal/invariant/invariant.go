@@ -1,0 +1,120 @@
+// Package invariant is the runtime invariant-checking harness: a set of
+// global correctness properties the simulator must hold under arbitrary
+// fault schedules, checked live through the internal/obs tracer hooks
+// (zero-cost when disabled — the checker is just another obs.Sink), plus
+// a seeded property-based scenario generator and an automatic shrinker.
+//
+// The paper's core claim (§III, §VI) is that a tussle-aware architecture
+// stays *correct under adversarial motion*: moves, counter-moves, faults
+// and byzantine bursts may degrade service, but never violate the
+// architecture's own accounting. The invariants catalogued here are that
+// accounting, stated as machine-checkable properties:
+//
+//   - conservation: every packet that enters the network (Send, or an
+//     impairment-injected duplicate) terminates in exactly one delivery
+//     or one reasoned drop — no packet vanishes silently (§VI-A: "design
+//     what happens then" presupposes knowing that something happened).
+//   - queue-bound: transmit-queue admission never exceeds MaxQueue —
+//     the bound the tail-drop admission control promises.
+//   - clock: the structured event stream is monotone in simulated time
+//     (the deterministic scheduler's dispatch contract).
+//   - trace: per-packet traces are internally consistent — exactly one
+//     terminal event, non-decreasing timestamps, hop-adjacent path,
+//     forward count bounded by the TTL.
+//   - loop-free: after the run drains (reconvergence complete), walking
+//     any node's installed routes toward any destination terminates —
+//     no forwarding loops survive reconvergence (§V-A).
+//   - cut-delivery: a partition admits zero cross-cut deliveries — a
+//     delivered packet must have had a temporal path: walking the
+//     connectivity epochs its flight overlapped, in order, the set of
+//     nodes reachable from its source must come to include its
+//     destination (store-and-forward across changing topology is
+//     legitimate; crossing a standing cut is not).
+//   - reach: heal restores reachability — after the fault plan's
+//     restoration tail, probes between ground-truth-connected stubs are
+//     delivered.
+//   - transport: a transfer either completes with the receiver holding
+//     exactly the sent bytes, or fails with a reason; the received
+//     stream is always an in-order prefix of the sent stream.
+//   - merge-commute: metrics-registry Merge is commutative across worker
+//     shards — the property that makes parallel sweep aggregates
+//     deterministic (§IV-C visibility depends on trustworthy metrics).
+package invariant
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Invariant names, as accepted by tussle-check -invariants and reported
+// in violations.
+const (
+	Conservation = "conservation"
+	QueueBound   = "queue-bound"
+	Clock        = "clock"
+	TraceValid   = "trace"
+	LoopFree     = "loop-free"
+	CutDelivery  = "cut-delivery"
+	Reach        = "reach"
+	Transport    = "transport"
+	MergeCommute = "merge-commute"
+)
+
+// All returns every invariant name, sorted.
+func All() []string {
+	names := []string{
+		Conservation, QueueBound, Clock, TraceValid, LoopFree,
+		CutDelivery, Reach, Transport, MergeCommute,
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AllSet returns the enabled-set with every invariant armed.
+func AllSet() map[string]bool {
+	set := make(map[string]bool)
+	for _, n := range All() {
+		set[n] = true
+	}
+	return set
+}
+
+// ParseSet parses a -invariants flag value: "all" or a comma-separated
+// subset of the names in All. Unknown names are errors (a typo must not
+// silently disarm a check).
+func ParseSet(spec string) (map[string]bool, error) {
+	if spec == "" || spec == "all" {
+		return AllSet(), nil
+	}
+	known := AllSet()
+	set := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("invariant: unknown invariant %q (known: %s)", name, strings.Join(All(), ","))
+		}
+		set[name] = true
+	}
+	if len(set) == 0 {
+		return nil, fmt.Errorf("invariant: empty invariant set %q", spec)
+	}
+	return set, nil
+}
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	// Invariant is the name of the violated property (see the constants).
+	Invariant string `json:"invariant"`
+	// Detail is a human-readable account of what went wrong.
+	Detail string `json:"detail"`
+	// TimeNs is the simulated time the breach was detected at.
+	TimeNs int64 `json:"time_ns"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] t=%dns: %s", v.Invariant, v.TimeNs, v.Detail)
+}

@@ -1,0 +1,200 @@
+package netsim
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// refModel is the map-based reference the dense linkTable and its fault
+// mirrors are pinned against: the simplest possible bookkeeping, updated
+// in lockstep with the Network under a random operation schedule.
+type refModel struct {
+	failed   map[[2]topology.NodeID]bool
+	down     map[topology.NodeID]bool
+	impaired map[[2]topology.NodeID]bool
+}
+
+func newRefModel() *refModel {
+	return &refModel{
+		failed:   map[[2]topology.NodeID]bool{},
+		down:     map[topology.NodeID]bool{},
+		impaired: map[[2]topology.NodeID]bool{},
+	}
+}
+
+func refKey(a, b topology.NodeID) [2]topology.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]topology.NodeID{a, b}
+}
+
+// checkAgainst compares every observable of the dense tables with the
+// reference: per-link failure state (map and dense row), adjacency rows
+// (membership, sortedness, and link-index correctness), the crashed-node
+// mirror, and the impairment mirror's nil-when-empty contract.
+func (m *refModel) checkAgainst(t *testing.T, n *Network, step int) {
+	t.Helper()
+	g := n.Graph
+	for i, l := range g.Links {
+		want := m.failed[refKey(l.A, l.B)]
+		if got := n.LinkFailed(l.A, l.B); got != want {
+			t.Fatalf("step %d: LinkFailed(%d,%d) = %v, ref %v", step, l.A, l.B, got, want)
+		}
+		if got := n.lt.failed[i]; got != want {
+			t.Fatalf("step %d: dense failed[%d] (%d–%d) = %v, ref %v", step, i, l.A, l.B, got, want)
+		}
+		li := n.linkIndex(l.A, l.B)
+		if li != int32(i) {
+			t.Fatalf("step %d: linkIndex(%d,%d) = %d, want %d", step, l.A, l.B, li, i)
+		}
+		if rev := n.linkIndex(l.B, l.A); rev != int32(i) {
+			t.Fatalf("step %d: reverse linkIndex(%d,%d) = %d, want %d", step, l.B, l.A, rev, i)
+		}
+	}
+	for _, id := range g.NodeIDs() {
+		neighbors := g.Neighbors(id)
+		row := n.lt.adj[id]
+		if len(row) != len(neighbors) {
+			t.Fatalf("step %d: adj row of %d has %d entries, graph has %d neighbors", step, id, len(row), len(neighbors))
+		}
+		if !sort.SliceIsSorted(row, func(i, j int) bool { return row[i].to < row[j].to }) {
+			t.Fatalf("step %d: adj row of %d not sorted by neighbor", step, id)
+		}
+		want := append([]topology.NodeID(nil), neighbors...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i, e := range row {
+			if e.to != want[i] {
+				t.Fatalf("step %d: adj row of %d = %v at %d, want %v", step, id, e.to, i, want[i])
+			}
+			l := g.Links[e.link]
+			if refKey(l.A, l.B) != refKey(id, e.to) {
+				t.Fatalf("step %d: adj entry %d→%d carries link %d (%d–%d)", step, id, e.to, e.link, l.A, l.B)
+			}
+		}
+		if got, want := n.NodeFailed(id), m.down[id]; got != want {
+			t.Fatalf("step %d: NodeFailed(%d) = %v, ref %v", step, id, got, want)
+		}
+		if got := n.nodeDown[id]; got != m.down[id] {
+			t.Fatalf("step %d: dense nodeDown[%d] = %v, ref %v", step, id, got, m.down[id])
+		}
+	}
+	if len(m.impaired) == 0 {
+		if n.impair != nil {
+			t.Fatalf("step %d: impair mirror non-nil with no impairments (healthy fast path lost)", step)
+		}
+	} else {
+		if n.ImpairedLinks() != len(m.impaired) {
+			t.Fatalf("step %d: ImpairedLinks = %d, ref %d", step, n.ImpairedLinks(), len(m.impaired))
+		}
+		for i, l := range g.Links {
+			if got, want := n.impair[i] != nil, m.impaired[refKey(l.A, l.B)]; got != want {
+				t.Fatalf("step %d: dense impair[%d] (%d–%d) present=%v, ref %v", step, i, l.A, l.B, got, want)
+			}
+		}
+	}
+}
+
+// TestLinkTableMatchesReference drives a seeded random schedule of fault
+// and topology operations — link fail/restore, node crash/recover,
+// impair/clear, link growth plus InvalidateTopology — comparing the
+// dense adjacency/failure/impairment tables against the map reference
+// after every operation.
+func TestLinkTableMatchesReference(t *testing.T) {
+	rng := sim.NewRNG(20260806)
+	g := topology.GenerateHierarchy(topology.HierarchyConfig{
+		Tier1: 2, Tier2: 3, Stubs: 6,
+		MultihomeProb: 0.5, PeerProb: 0.3,
+		BaseLatency: 5 * sim.Millisecond,
+	}, rng.Fork())
+	n := New(sim.NewScheduler(), g)
+	ref := newRefModel()
+	ids := g.NodeIDs()
+	nextID := ids[len(ids)-1] + 1
+
+	pickLink := func() topology.Link { return g.Links[rng.Intn(len(g.Links))] }
+	pickNode := func() topology.NodeID { return ids[rng.Intn(len(ids))] }
+
+	ref.checkAgainst(t, n, -1)
+	for step := 0; step < 400; step++ {
+		switch rng.Intn(8) {
+		case 0:
+			l := pickLink()
+			n.FailLink(l.A, l.B)
+			ref.failed[refKey(l.A, l.B)] = true
+		case 1:
+			l := pickLink()
+			n.RestoreLink(l.A, l.B)
+			delete(ref.failed, refKey(l.A, l.B))
+		case 2:
+			id := pickNode()
+			n.FailNode(id)
+			ref.down[id] = true
+		case 3:
+			id := pickNode()
+			n.RecoverNode(id)
+			delete(ref.down, id)
+		case 4:
+			l := pickLink()
+			n.ImpairLink(l.A, l.B, LinkImpairment{Corrupt: 0.1}, rng.Fork())
+			ref.impaired[refKey(l.A, l.B)] = true
+		case 5:
+			l := pickLink()
+			n.ClearImpairment(l.A, l.B)
+			delete(ref.impaired, refKey(l.A, l.B))
+		case 6:
+			// Grow the topology: a new stub homed onto an existing node,
+			// then the rebuild the growth contract requires. Fault state
+			// must survive the rebuild (the maps are the source of truth).
+			home := pickNode()
+			g.AddNode(nextID, topology.Stub, 3)
+			g.AddLink(nextID, home, topology.CustomerOf, 5*sim.Millisecond, 1)
+			ids = append(ids, nextID)
+			nextID++
+			n.InvalidateTopology()
+		case 7:
+			// A new link between existing nodes, same rebuild contract.
+			a, b := pickNode(), pickNode()
+			if a == b {
+				continue
+			}
+			if _, exists := g.LinkBetween(a, b); exists {
+				continue
+			}
+			g.AddLink(a, b, topology.PeerOf, 5*sim.Millisecond, 1)
+			n.InvalidateTopology()
+		}
+		ref.checkAgainst(t, n, step)
+	}
+}
+
+// A rebuild with every fault type active must re-derive all three dense
+// mirrors from their maps, not lose state.
+func TestInvalidateTopologyPreservesFaults(t *testing.T) {
+	rng := sim.NewRNG(7)
+	g := topology.GenerateHierarchy(topology.HierarchyConfig{
+		Tier1: 1, Tier2: 2, Stubs: 4,
+		MultihomeProb: 0.5, PeerProb: 0.3,
+		BaseLatency: 5 * sim.Millisecond,
+	}, rng)
+	n := New(sim.NewScheduler(), g)
+	ref := newRefModel()
+
+	l0, l1 := g.Links[0], g.Links[1]
+	n.FailLink(l0.A, l0.B)
+	ref.failed[refKey(l0.A, l0.B)] = true
+	n.ImpairLink(l1.A, l1.B, LinkImpairment{Corrupt: 0.2}, rng.Fork())
+	ref.impaired[refKey(l1.A, l1.B)] = true
+	crash := g.NodeIDs()[0]
+	n.FailNode(crash)
+	ref.down[crash] = true
+
+	ids := g.NodeIDs()
+	g.AddNode(ids[len(ids)-1]+1, topology.Stub, 3)
+	g.AddLink(ids[len(ids)-1]+1, ids[0], topology.CustomerOf, 5*sim.Millisecond, 1)
+	n.InvalidateTopology()
+	ref.checkAgainst(t, n, 0)
+}

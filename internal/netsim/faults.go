@@ -133,6 +133,12 @@ func (n *Network) rebuildImpair() {
 	n.impair = impair
 }
 
+// ImpairedLinks returns the number of links with an active packet
+// impairment installed. Reachability checks use it to gate expectations:
+// a corrupting link can legitimately kill a probe between nodes that are
+// topologically connected.
+func (n *Network) ImpairedLinks() int { return len(n.impairments) }
+
 // Backlog returns the transmission backlog currently queued on the
 // directed link from→to: how long a packet admitted now would wait
 // before its serialization starts. Zero for idle or unknown links.

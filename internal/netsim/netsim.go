@@ -754,6 +754,12 @@ func (n *Network) transmit(f *flight, from, to topology.NodeID, li int32) {
 	}
 	busy += txTime
 	n.lt.busy[di] = busy
+	if n.tracer.Enabled() {
+		// Value is the backlog the admitted packet leaves behind (waiting
+		// plus its own serialization) — the quantity MaxQueue bounds, so
+		// an invariant checker can verify admission never exceeds it.
+		n.tracer.Emit(obs.Event{Time: int64(now), Scope: "netsim", Kind: "enqueue", Node: int64(from), Value: float64(busy - now)})
+	}
 	arrive := busy + link.Latency + n.HopProcessing
 	if n.impair != nil {
 		if imp := n.impair[li]; imp != nil && !imp.apply(n, f, to, arrive, txTime, &arrive) {
@@ -804,6 +810,12 @@ func (n *Network) duplicate(f *flight, to topology.NodeID, arrive sim.Time) {
 	g.dir = Forwarding
 	g.hops = f.hops
 	n.Stats.Inc("dup-injected")
+	if n.tracer.Enabled() {
+		// Duplicates enter the network without a "send" event; the "dup"
+		// event keeps packet conservation accountable: every termination
+		// (deliver or drop) stems from exactly one send or dup.
+		n.tracer.Emit(obs.Event{Time: int64(n.Sched.Now()), Scope: "netsim", Kind: "dup", Node: int64(to)})
+	}
 	n.Sched.At(arrive, g.run)
 }
 

@@ -73,18 +73,20 @@ func (s *Series) Var() float64 {
 // Stddev returns the population standard deviation.
 func (s *Series) Stddev() float64 { return math.Sqrt(s.Var()) }
 
-// Min returns the minimum observation, or +Inf for an empty series.
+// Min returns the minimum observation. An empty series returns 0 — the
+// same defined sentinel every other statistic uses — rather than ±Inf,
+// which poisons downstream arithmetic and cannot be serialized as JSON.
 func (s *Series) Min() float64 {
 	if len(s.vals) == 0 {
-		return math.Inf(1)
+		return 0
 	}
 	return s.min
 }
 
-// Max returns the maximum observation, or -Inf for an empty series.
+// Max returns the maximum observation, or 0 for an empty series (see Min).
 func (s *Series) Max() float64 {
 	if len(s.vals) == 0 {
-		return math.Inf(-1)
+		return 0
 	}
 	return s.max
 }

@@ -28,6 +28,9 @@ func (s *naiveSeries) sorted() []float64 {
 }
 
 func (s *naiveSeries) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0 // the empty-series sentinel, matching Series.Min
+	}
 	min := math.Inf(1)
 	for _, v := range s.vals {
 		if v < min {
@@ -38,6 +41,9 @@ func (s *naiveSeries) Min() float64 {
 }
 
 func (s *naiveSeries) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0 // the empty-series sentinel, matching Series.Max
+	}
 	max := math.Inf(-1)
 	for _, v := range s.vals {
 		if v > max {

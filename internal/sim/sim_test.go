@@ -330,12 +330,36 @@ func TestSeriesBasics(t *testing.T) {
 }
 
 func TestSeriesEmpty(t *testing.T) {
+	// Every statistic on an empty series returns the defined sentinel 0 —
+	// never ±Inf (unserializable, poisons arithmetic) and never a panic.
 	var s Series
-	if s.Mean() != 0 || s.Var() != 0 || s.Percentile(50) != 0 || s.Gini() != 0 {
-		t.Fatal("empty series statistics should be zero")
+	for _, tc := range []struct {
+		name string
+		got  float64
+	}{
+		{"Mean", s.Mean()},
+		{"Var", s.Var()},
+		{"Stddev", s.Stddev()},
+		{"Min", s.Min()},
+		{"Max", s.Max()},
+		{"Sum", s.Sum()},
+		{"Gini", s.Gini()},
+		{"Percentile(0)", s.Percentile(0)},
+		{"Percentile(50)", s.Percentile(50)},
+		{"Percentile(99)", s.Percentile(99)},
+		{"Percentile(100)", s.Percentile(100)},
+	} {
+		if tc.got != 0 {
+			t.Errorf("empty series %s = %v, want 0", tc.name, tc.got)
+		}
 	}
-	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
-		t.Fatal("empty Min/Max should be infinities")
+	if s.N() != 0 {
+		t.Fatalf("empty series N = %d", s.N())
+	}
+	// The sentinel must not leak into statistics once data arrives.
+	s.Add(-3)
+	if s.Min() != -3 || s.Max() != -3 {
+		t.Fatalf("after one Add, Min/Max = %v/%v, want -3/-3", s.Min(), s.Max())
 	}
 }
 
