@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-json experiments metrics fuzz-smoke golden-check invariant-sweep cover ci
+.PHONY: all build vet test race bench-smoke bench bench-json scale-json scale-smoke shard-determinism experiments metrics fuzz-smoke golden-check invariant-sweep cover ci
 
 all: vet build test
 
@@ -46,6 +46,40 @@ bench:
 bench-json:
 	$(GO) run ./cmd/tussle-bench -quiet -json BENCH_suite.json >/dev/null
 
+# Regenerate the committed scale perf baseline: end-to-end sharded-core
+# runs at 1k/10k/100k nodes (the BenchmarkScaleForward sweep as
+# committable JSON, gated by the same -compare machinery as
+# BENCH_suite.json).
+scale-json:
+	$(GO) run ./cmd/tussle-bench -scale-json BENCH_scale.json -iters 2
+
+# Scale smoke: a 100k-node, 2M-packet run through the sharded core
+# (sized to finish in well under five minutes on a 2-core runner), then
+# a quick scale measurement compared against the committed baseline.
+scale-smoke:
+	$(GO) run ./cmd/netsim -nodes 100000 -shards 2 -packets 2000000 -seed 42
+	$(GO) run ./cmd/tussle-bench -scale-json /tmp/scale-smoke.json -iters 2
+	$(GO) run ./cmd/tussle-bench -compare -tolerance 0.5 BENCH_scale.json /tmp/scale-smoke.json
+
+# Shard-count determinism: the scale digest on stdout AND the merged
+# -metrics snapshot must be byte-identical at shards 1/2/4/8, sequential
+# or parallel, with and without chaos, at two seeds.
+shard-determinism:
+	@for seed in 42 7; do \
+	  for chaos in "" "-chaos"; do \
+	    $(GO) run ./cmd/netsim -nodes 5000 -shards 1 -seed $$seed $$chaos -metrics /tmp/shard-ref-m.json 2>/dev/null > /tmp/shard-ref.out || exit 1; \
+	    for k in 2 4 8; do \
+	      $(GO) run ./cmd/netsim -nodes 5000 -shards $$k -seed $$seed $$chaos -metrics /tmp/shard-par-m.json 2>/dev/null > /tmp/shard-par.out || exit 1; \
+	      cmp /tmp/shard-ref.out /tmp/shard-par.out || { echo "shard-determinism: shards=$$k parallel seed=$$seed chaos='$$chaos' digest diverged"; exit 1; }; \
+	      cmp /tmp/shard-ref-m.json /tmp/shard-par-m.json || { echo "shard-determinism: shards=$$k parallel seed=$$seed chaos='$$chaos' metrics diverged"; exit 1; }; \
+	      $(GO) run ./cmd/netsim -nodes 5000 -shards $$k -parallel=false -seed $$seed $$chaos -metrics /tmp/shard-seq-m.json 2>/dev/null > /tmp/shard-seq.out || exit 1; \
+	      cmp /tmp/shard-ref.out /tmp/shard-seq.out || { echo "shard-determinism: shards=$$k lockstep seed=$$seed chaos='$$chaos' digest diverged"; exit 1; }; \
+	      cmp /tmp/shard-ref-m.json /tmp/shard-seq-m.json || { echo "shard-determinism: shards=$$k lockstep seed=$$seed chaos='$$chaos' metrics diverged"; exit 1; }; \
+	    done; \
+	  done; \
+	done; \
+	echo "shard-determinism: digests and metrics identical at shards 1/2/4/8 (lockstep+parallel, +/-chaos, seeds 42+7)"
+
 # Regenerate EXPERIMENTS.md from the current code.
 experiments:
 	$(GO) run ./cmd/tussle-bench -markdown > EXPERIMENTS.md
@@ -72,6 +106,8 @@ fuzz-smoke:
 invariant-sweep:
 	$(GO) run ./cmd/tussle-check -trials 500 -seed 42
 	$(GO) run ./cmd/tussle-check -trials 500 -seed 7
+	$(GO) run ./cmd/tussle-check -sharded -trials 500 -seed 42
+	$(GO) run ./cmd/tussle-check -sharded -trials 500 -seed 7
 
 # Per-package statement coverage (the CI cover gate publishes this table
 # in the job summary).
@@ -84,4 +120,4 @@ cover:
 golden-check: experiments
 	git diff --exit-code EXPERIMENTS.md
 
-ci: vet build test race bench-smoke fuzz-smoke golden-check invariant-sweep
+ci: vet build test race bench-smoke fuzz-smoke golden-check invariant-sweep shard-determinism scale-smoke

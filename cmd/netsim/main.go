@@ -17,6 +17,16 @@
 // while the probes are in flight; path-vector routing re-converges
 // around each fault with a modeled delay. Replays at the same seed are
 // byte-identical.
+//
+// Scale mode (-nodes N) switches to the sharded simulation core: a
+// generated scale-free internetwork with static sink routing and
+// fire-and-forget bulk traffic, partitioned across -shards schedulers:
+//
+//	netsim -shards 8 -nodes 100000
+//
+// Scale mode prints a deterministic digest on stdout — identical bytes
+// for the same seed at any shard count, sequential or parallel — and
+// timing on stderr, so CI can diff the digest across shard counts.
 package main
 
 import (
@@ -24,7 +34,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/middlebox"
@@ -33,6 +45,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/routing/pathvector"
 	"repro/internal/routing/srcroute"
+	"repro/internal/scale"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -46,7 +59,24 @@ func main() {
 	faultPlan := flag.String("faultplan", "", "replay a chaos fault plan (JSON) during the run")
 	metricsPath := flag.String("metrics", "", "write the obs metric snapshot as JSON to this file")
 	eventsPath := flag.String("events", "", "write forwarding-layer events as JSON lines to this file")
+	nodes := flag.Int("nodes", 0, "scale mode: run the sharded core over a scale-free topology this big")
+	shards := flag.Int("shards", 1, "scale mode: shard count")
+	parallel := flag.Bool("parallel", true, "scale mode: run shards in parallel epochs (off = lockstep)")
+	chaosOn := flag.Bool("chaos", false, "scale mode: inject a deterministic fault schedule")
 	flag.Parse()
+
+	if *nodes > 0 {
+		// -packets keeps its own default for probe mode; scale mode
+		// defaults to 10 packets per node unless the flag was given.
+		pk := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "packets" {
+				pk = *packets
+			}
+		})
+		runScale(*nodes, *shards, pk, *parallel, *chaosOn, *seed, *metricsPath)
+		return
+	}
 
 	rng := sim.NewRNG(*seed)
 	g := topology.GenerateHierarchy(topology.DefaultHierarchy(), rng)
@@ -220,15 +250,48 @@ func main() {
 		}
 	}
 	if *metricsPath != "" {
-		buf, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "netsim: metrics: %v\n", err)
-			os.Exit(1)
-		}
-		buf = append(buf, '\n')
-		if err := os.WriteFile(*metricsPath, buf, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "netsim: metrics: %v\n", err)
-			os.Exit(1)
-		}
+		writeMetrics(reg, *metricsPath)
+	}
+}
+
+// runScale executes the sharded scale workload. Everything on stdout is
+// deterministic for (seed, nodes, packets, chaos) — independent of the
+// shard count and driver — so CI diffs it across shard counts; wall
+// time and throughput go to stderr.
+func runScale(nodes, shards, packets int, parallel, chaosOn bool, seed uint64, metricsPath string) {
+	cfg := scale.Config{
+		Nodes: nodes, Packets: packets, Seed: seed,
+		Shards: shards, Parallel: parallel, Chaos: chaosOn,
+		Obs: metricsPath != "",
+	}
+	start := time.Now()
+	res := scale.Run(cfg)
+	wall := time.Since(start)
+	// Shard geometry is shard-count-dependent by definition, so it goes
+	// to stderr with the timing, keeping stdout diffable across counts.
+	fmt.Fprintf(os.Stderr, "netsim: scale: shards=%d window=%v cross-links=%d\n",
+		cfg.Shards, res.Window, res.CrossLinks)
+	fmt.Print(res.Render())
+	total := res.Delivered + res.Dropped
+	fmt.Fprintf(os.Stderr, "netsim: scale: %d packets, %d events in %v (%.0f pkt/s, %.0f ev/s, GOMAXPROCS=%d)\n",
+		total, res.Processed, wall.Round(time.Millisecond),
+		float64(total)/wall.Seconds(), float64(res.Processed)/wall.Seconds(),
+		runtime.GOMAXPROCS(0))
+	if metricsPath != "" {
+		writeMetrics(res.Metrics, metricsPath)
+	}
+}
+
+// writeMetrics dumps a registry snapshot as indented JSON.
+func writeMetrics(reg *obs.Registry, path string) {
+	buf, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netsim: metrics: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "netsim: metrics: %v\n", err)
+		os.Exit(1)
 	}
 }

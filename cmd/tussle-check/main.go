@@ -36,6 +36,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxShrink  = fs.Int("maxshrink", 400, "max candidate runs per shrink")
 		reproPath  = fs.String("repro", "", "write the first shrunk reproducer to this file")
 		replayPath = fs.String("replay", "", "replay a reproducer file instead of sweeping")
+		sharded    = fs.Bool("sharded", false, "sweep sharded scale scenarios (checker attached across shards)")
+		shards     = fs.Int("shards", 0, "with -sharded: pin the shard count (0 rotates 2/4/8)")
 		verbose    = fs.Bool("v", false, "print per-failure violation details")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -49,6 +51,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *replayPath != "" {
 		return replay(*replayPath, enabled, stdout, stderr)
+	}
+
+	if *sharded {
+		res := invariant.SweepSharded(invariant.Config{
+			Trials: *trials, Seed: *seed, Invariants: enabled,
+		}, *shards)
+		if res.Clean() {
+			fmt.Fprintf(stdout, "tussle-check: %d sharded trials clean (seed %d, checker attached across shards)\n",
+				res.Trials, *seed)
+			return 0
+		}
+		fmt.Fprintf(stdout, "tussle-check: %d of %d sharded trials FAILED (seed %d)\n",
+			len(res.Failures), res.Trials, *seed)
+		for _, f := range res.Failures {
+			fmt.Fprintf(stdout, "  trial %d (seed %d): %d violation(s), first: %s\n",
+				f.Trial, f.Seed, len(f.Violations), f.Violations[0].String())
+			if *verbose {
+				for _, v := range f.Violations[1:] {
+					fmt.Fprintf(stdout, "    %s\n", v.String())
+				}
+			}
+		}
+		return 1
 	}
 
 	res := invariant.Sweep(invariant.Config{

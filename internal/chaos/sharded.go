@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// ShardedEngine replays fault plans onto a sharded simulation. Every
+// mutation goes through Sharded.FaultAt, which applies it to all shard
+// networks at the same (time, key), so the replicated fault state —
+// link failures, node crashes, impairments — stays byte-identical on
+// every shard at every shard count.
+//
+// Differences from the single-network Engine:
+//   - Impairment RNGs are derived per plan event from the engine seed
+//     (not drawn from a shared stream at apply time), so each shard
+//     installs an identical generator.
+//   - Flap toggles read the owning network's own link state, which is
+//     replicated, so all shards toggle the same direction.
+//   - ByzantineBurst is rejected at schedule time: advertisement floods
+//     target a routing database, which the sharded scale workload does
+//     not carry.
+type ShardedEngine struct {
+	S *netsim.Sharded
+
+	seed    uint64
+	nextEv  uint64
+	cuts    map[*netsim.Network][][][2]topology.NodeID
+	ground  *netsim.Network
+	applied sim.Counter
+
+	// OnFault, when set, is called once per applied event per shard
+	// (after the mutation), with the shard's network current.
+	OnFault func(n *netsim.Network, ev Event, now sim.Time)
+}
+
+// NewSharded builds a sharded chaos engine over s. Plans scheduled at
+// the same seed replay identically.
+func NewSharded(s *netsim.Sharded, seed uint64) *ShardedEngine {
+	return &ShardedEngine{
+		S:      s,
+		seed:   seed ^ 0xc4a05,
+		cuts:   make(map[*netsim.Network][][][2]topology.NodeID),
+		ground: s.Shards[0].Net,
+	}
+}
+
+// Applied counts events applied, by kind and in total, counted once per
+// event (not once per shard copy).
+func (e *ShardedEngine) Applied() sim.Counter {
+	if e.applied == nil {
+		e.applied = sim.Counter{}
+	}
+	return e.applied
+}
+
+// Schedule validates the plan against the topology and arms every event
+// on all shards.
+func (e *ShardedEngine) Schedule(p *Plan) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	g := e.S.Graph
+	for i := range p.Events {
+		if err := checkEvent(g, &p.Events[i], false); err != nil {
+			return fmt.Errorf("chaos: event %d (%s): %w", i, p.Events[i].Kind, err)
+		}
+	}
+	e.Applied()
+	for i := range p.Events {
+		ev := p.Events[i]
+		evSeed := sim.SeedStream(e.seed, e.nextEv)
+		e.nextEv++
+		switch ev.Kind {
+		case LinkFlap:
+			// One FaultAt per toggle: each closure flips the owning
+			// network's current (replicated) state, so every shard
+			// flips the same way.
+			for t := 0; t < ev.Count; t++ {
+				ev := ev
+				e.S.FaultAt(ev.At()+sim.Time(t)*ev.Period(), func(n *netsim.Network) {
+					kind := LinkUp
+					if !n.LinkFailed(ev.A, ev.B) {
+						kind = LinkDown
+						n.FailLink(ev.A, ev.B)
+					} else {
+						n.RestoreLink(ev.A, ev.B)
+					}
+					e.finish(n, Event{AtMs: ev.AtMs, Kind: kind, A: ev.A, B: ev.B})
+				})
+			}
+		default:
+			ev := ev
+			e.S.FaultAt(ev.At(), func(n *netsim.Network) {
+				e.applyOn(n, ev, evSeed)
+				e.finish(n, ev)
+			})
+		}
+	}
+	return nil
+}
+
+// checkEvent is the schedule-time topology validation shared in spirit
+// with Engine.check; sharded engines additionally reject byzantine
+// bursts (allowBurst=false).
+func checkEvent(g *topology.Graph, ev *Event, allowBurst bool) error {
+	node := func(id topology.NodeID) error {
+		if _, ok := g.Nodes[id]; !ok {
+			return fmt.Errorf("node %d not in topology", id)
+		}
+		return nil
+	}
+	link := func() error {
+		if err := node(ev.A); err != nil {
+			return err
+		}
+		if err := node(ev.B); err != nil {
+			return err
+		}
+		if _, ok := g.LinkBetween(ev.A, ev.B); !ok {
+			return fmt.Errorf("no link %d-%d in topology", ev.A, ev.B)
+		}
+		return nil
+	}
+	switch ev.Kind {
+	case LinkDown, LinkUp, LinkFlap, Impair, ClearImpair:
+		return link()
+	case NodeCrash, NodeRecover:
+		return node(ev.Node)
+	case Partition:
+		for _, id := range ev.Group {
+			if err := node(id); err != nil {
+				return err
+			}
+		}
+	case ByzantineBurst:
+		if !allowBurst {
+			return fmt.Errorf("byzantine-burst is not supported on a sharded run")
+		}
+	}
+	return nil
+}
+
+// applyOn executes one event against one shard's network.
+func (e *ShardedEngine) applyOn(n *netsim.Network, ev Event, evSeed uint64) {
+	switch ev.Kind {
+	case LinkDown:
+		n.FailLink(ev.A, ev.B)
+	case LinkUp:
+		n.RestoreLink(ev.A, ev.B)
+	case NodeCrash:
+		n.FailNode(ev.Node)
+	case NodeRecover:
+		n.RecoverNode(ev.Node)
+	case Partition:
+		e.partitionOn(n, ev.Group)
+	case Heal:
+		e.healOn(n)
+	case Impair:
+		n.ImpairLink(ev.A, ev.B, netsim.LinkImpairment{
+			Corrupt:       ev.Corrupt,
+			Duplicate:     ev.Duplicate,
+			ReorderProb:   ev.ReorderProb,
+			ReorderJitter: msToTime(ev.ReorderJitterMs),
+		}, sim.NewRNG(evSeed))
+	case ClearImpair:
+		n.ClearImpairment(ev.A, ev.B)
+	}
+}
+
+// partitionOn cuts the group boundary on one network, remembering the
+// cut per network. The link-state reads are replicated, so every shard
+// computes the same cut set.
+func (e *ShardedEngine) partitionOn(n *netsim.Network, group []topology.NodeID) {
+	in := make(map[topology.NodeID]bool, len(group))
+	for _, id := range group {
+		in[id] = true
+	}
+	var cut [][2]topology.NodeID
+	for _, l := range n.Graph.Links {
+		if in[l.A] == in[l.B] || n.LinkFailed(l.A, l.B) {
+			continue
+		}
+		n.FailLink(l.A, l.B)
+		cut = append(cut, [2]topology.NodeID{l.A, l.B})
+	}
+	e.cuts[n] = append(e.cuts[n], cut)
+}
+
+func (e *ShardedEngine) healOn(n *netsim.Network) {
+	stack := e.cuts[n]
+	if len(stack) == 0 {
+		return
+	}
+	cut := stack[len(stack)-1]
+	e.cuts[n] = stack[:len(stack)-1]
+	for _, lk := range cut {
+		n.RestoreLink(lk[0], lk[1])
+	}
+}
+
+// finish counts the event (once, on the ground-truth shard) and fires
+// the per-shard hook.
+func (e *ShardedEngine) finish(n *netsim.Network, ev Event) {
+	if n == e.ground {
+		e.applied.Inc(string(ev.Kind))
+		e.applied.Inc("total")
+	}
+	if e.OnFault != nil {
+		e.OnFault(n, ev, n.Sched.Now())
+	}
+}

@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// faultDigest captures a network's complete replicated fault state.
+func faultDigest(g *topology.Graph, n *netsim.Network) string {
+	out := ""
+	for _, id := range g.NodeIDs() {
+		if n.NodeFailed(id) {
+			out += fmt.Sprintf("node-down %d\n", id)
+		}
+	}
+	for _, l := range g.Links {
+		if n.LinkFailed(l.A, l.B) {
+			out += fmt.Sprintf("link-down %d-%d\n", l.A, l.B)
+		}
+	}
+	return out
+}
+
+func shardedPlan(g *topology.Graph) *Plan {
+	l0, l1, l2 := g.Links[0], g.Links[1], g.Links[2]
+	return &Plan{Name: "sharded-replay", Events: []Event{
+		{AtMs: 5, Kind: LinkDown, A: l0.A, B: l0.B},
+		{AtMs: 8, Kind: NodeCrash, Node: g.NodeIDs()[3]},
+		{AtMs: 10, Kind: LinkFlap, A: l1.A, B: l1.B, PeriodMs: 4, Count: 5},
+		{AtMs: 12, Kind: Partition, Group: g.NodeIDs()[:4]},
+		{AtMs: 15, Kind: Impair, A: l2.A, B: l2.B, Corrupt: 0.5},
+		{AtMs: 20, Kind: Heal},
+		{AtMs: 25, Kind: LinkUp, A: l0.A, B: l0.B},
+		{AtMs: 28, Kind: NodeRecover, Node: g.NodeIDs()[3]},
+		{AtMs: 30, Kind: ClearImpair, A: l2.A, B: l2.B},
+	}}
+}
+
+// TestShardedEngineReplayDeterministic replays the same plan at shard
+// counts 1, 2, and 4 and checks, at several mid-run checkpoints, that
+// (a) every shard within a run agrees on the replicated fault state and
+// (b) the state matches the single-shard run byte for byte.
+func TestShardedEngineReplayDeterministic(t *testing.T) {
+	checkpoints := []sim.Time{
+		6 * sim.Millisecond, 11 * sim.Millisecond, 14 * sim.Millisecond,
+		18 * sim.Millisecond, 22 * sim.Millisecond, 27 * sim.Millisecond,
+		40 * sim.Millisecond,
+	}
+	var ref []string
+	for _, k := range []int{1, 2, 4} {
+		g := topology.GenerateScaleFree(40, 2, sim.NewRNG(42))
+		s := netsim.NewSharded(g, k)
+		e := NewSharded(s, 7)
+		if err := e.Schedule(shardedPlan(g)); err != nil {
+			t.Fatalf("shards=%d: %v", k, err)
+		}
+		var got []string
+		for _, cp := range checkpoints {
+			s.RunUntil(cp)
+			d0 := faultDigest(g, s.Shards[0].Net)
+			for _, sh := range s.Shards[1:] {
+				if d := faultDigest(g, sh.Net); d != d0 {
+					t.Fatalf("shards=%d t=%v: shard %d fault state diverged from shard 0:\n%s--\n%s",
+						k, cp, sh.ID, d0, d)
+				}
+			}
+			got = append(got, d0)
+		}
+		if applied := e.Applied()["total"]; applied == 0 {
+			t.Fatalf("shards=%d: no events counted", k)
+		} else if wantFlap := 5; e.Applied()[string(LinkDown)]+e.Applied()[string(LinkUp)] < wantFlap {
+			t.Fatalf("shards=%d: flap toggles undercounted: %v", k, e.Applied())
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range checkpoints {
+			if got[i] != ref[i] {
+				t.Errorf("shards=%d t=%v: state differs from shards=1:\n-- shards=1:\n%s-- got:\n%s",
+					k, checkpoints[i], ref[i], got[i])
+			}
+		}
+	}
+}
+
+// TestShardedEngineRejectsBurst: byzantine bursts need a routing
+// database no sharded run carries; scheduling one must fail fast.
+func TestShardedEngineRejectsBurst(t *testing.T) {
+	g := topology.GenerateScaleFree(10, 2, sim.NewRNG(1))
+	s := netsim.NewSharded(g, 2)
+	e := NewSharded(s, 1)
+	err := e.Schedule(&Plan{Name: "burst", Events: []Event{
+		{AtMs: 1, Kind: ByzantineBurst, Node: 1, Count: 1, Cost: 1},
+	}})
+	if err == nil {
+		t.Fatal("byzantine burst accepted on sharded engine")
+	}
+}
+
+// TestShardedEngineValidation: bad topology references fail at schedule
+// time, before the run starts.
+func TestShardedEngineValidation(t *testing.T) {
+	g := topology.GenerateScaleFree(10, 2, sim.NewRNG(1))
+	s := netsim.NewSharded(g, 2)
+	e := NewSharded(s, 1)
+	if err := e.Schedule(&Plan{Name: "bad", Events: []Event{
+		{AtMs: 1, Kind: LinkDown, A: 1, B: 9999},
+	}}); err == nil {
+		t.Fatal("nonexistent link accepted")
+	}
+}

@@ -90,6 +90,13 @@ type LinkImpairment struct {
 	ReorderJitter sim.Time
 
 	rng *sim.RNG
+	// dirRNG, when set (keyed/sharded networks), replaces rng with one
+	// independent stream per link direction. A direction's transmissions
+	// happen in a shard-count-independent order, but the interleaving of
+	// the two directions does not — per-direction streams make every
+	// coin flip a pure function of the seed and that direction's own
+	// transmission sequence.
+	dirRNG [2]*sim.RNG
 }
 
 // ImpairLink installs (or replaces) a packet impairment on the link
@@ -103,6 +110,10 @@ func (n *Network) ImpairLink(a, b topology.NodeID, imp LinkImpairment, rng *sim.
 		rng = sim.NewRNG(1)
 	}
 	imp.rng = rng
+	if n.keyed {
+		imp.dirRNG[0] = rng.StreamFork(0)
+		imp.dirRNG[1] = rng.StreamFork(1)
+	}
 	if n.impairments == nil {
 		n.impairments = make(map[[2]topology.NodeID]*LinkImpairment)
 	}

@@ -164,10 +164,21 @@ type linkTable struct {
 }
 
 // Network is the assembled simulator.
+//
+// Node state lives in a flat arena ([]Node) indexed through the dense
+// nodesByID table; the nodes map is a build-time input only (it seeds the
+// arena in New and survives for rebuilds), never touched on the
+// forwarding fast path. The same struct-of-arrays discipline covers the
+// rest of the hot state: transmit backlogs, link-failure flags, node-down
+// flags, impairments, and the per-node key counters all live in
+// contiguous slices indexed by the dense node or link index.
 type Network struct {
 	Sched *sim.Scheduler
 	Graph *topology.Graph
 	nodes map[topology.NodeID]*Node
+	// nodeArr is the contiguous node arena; nodes and nodesByID point
+	// into it. Allocated once in New — node addresses are stable.
+	nodeArr []Node
 	// nodesByID is the dense mirror of nodes for hot-path lookup.
 	nodesByID []*Node
 
@@ -208,8 +219,38 @@ type Network struct {
 	obs    *netObs
 	tracer *obs.Tracer
 
+	// addrShift maps a packet address to its destination node: the node
+	// for address a is uint32(a) >> addrShift. The default (16) is the
+	// classic provider-number scheme — the top 16 bits of the address
+	// name the node. WideAddressing sets it to 0, making the full 32-bit
+	// address the node number, so wide simulations address 10^5+ nodes
+	// without changing the wire format.
+	addrShift uint8
+
+	// keyed switches the network to deterministic keyed event ordering:
+	// every arrival is scheduled with a key derived from (origin node,
+	// per-origin sequence) instead of relying on the scheduler's global
+	// FIFO tie-break. Same-time ordering then depends only on the
+	// simulation itself, never on how nodes are partitioned across
+	// shard schedulers. Enabled by the sharded driver (at every shard
+	// count, including 1); legacy single-scheduler networks leave it off
+	// so their golden outputs are untouched.
+	keyed bool
+	// keySeq is the per-origin-node key sequence counter (dense).
+	keySeq []uint32
+
+	// shardOf/shardID/handoff wire this network into a sharded group:
+	// shardOf is the dense NodeID->shard table (nil when unsharded),
+	// shardID is this network's own shard, and handoff receives flights
+	// whose next hop is owned by another shard. See Sharded.
+	shardOf []int32
+	shardID int32
+	handoff func(f *flight, to topology.NodeID, arrive sim.Time, key uint64)
+
 	// flightFree recycles flight contexts between packets.
 	flightFree []*flight
+	// traceFree recycles traces for fire-and-forget Inject traffic.
+	traceFree []*Trace
 
 	// dropKeys/blockedKeys/malformedKeys intern hot-path counter and
 	// trace strings so drops do not concatenate on every packet.
@@ -226,6 +267,19 @@ type Network struct {
 // New builds a Network over a topology. All nodes start with no routes,
 // no middleboxes, and no delivery handler.
 func New(sched *sim.Scheduler, g *topology.Graph) *Network {
+	return build(sched, g, false)
+}
+
+// NewLean builds a Network without per-node Counters maps: node counter
+// increments become no-ops. At ISP scale (10^5+ nodes) the per-node maps
+// dominate construction cost and add a map write to every hop; lean
+// networks keep the network-wide Stats, obs metrics, and traces, which
+// is what the scale scenarios read.
+func NewLean(sched *sim.Scheduler, g *topology.Graph) *Network {
+	return build(sched, g, true)
+}
+
+func build(sched *sim.Scheduler, g *topology.Graph, lean bool) *Network {
 	n := &Network{
 		Sched:         sched,
 		Graph:         g,
@@ -234,16 +288,55 @@ func New(sched *sim.Scheduler, g *topology.Graph) *Network {
 		MaxQueue:      100 * sim.Millisecond,
 		HopProcessing: 10 * sim.Microsecond,
 		TraceEventCap: 8,
+		addrShift:     16,
 		Stats:         sim.Counter{},
 		dropKeys:      sim.NewKeyCache("drop:"),
 		blockedKeys:   sim.NewKeyCache("blocked:"),
 		malformedKeys: sim.NewKeyCache("malformed-after:"),
 	}
-	for id := range g.Nodes {
-		n.nodes[id] = &Node{ID: id, Net: n, Counters: sim.Counter{}}
+	// Flat node arena in ascending ID order; the map indexes into it.
+	ids := g.NodeIDs()
+	n.nodeArr = make([]Node, len(ids))
+	for i, id := range ids {
+		nd := &n.nodeArr[i]
+		nd.ID = id
+		nd.Net = n
+		if !lean {
+			nd.Counters = sim.Counter{}
+		}
+		n.nodes[id] = nd
 	}
 	n.InvalidateTopology()
 	return n
+}
+
+// WideAddressing switches the network to wide packet addressing: the full
+// 32-bit TIP address is the destination node number (instead of only the
+// top 16 provider bits). Call it before any traffic is sent. Wide mode is
+// for generated ISP-scale topologies; source-route options still carry
+// provider-style waypoints and are not supported in wide mode.
+func (n *Network) WideAddressing() { n.addrShift = 0 }
+
+// dstNode maps a packet destination address to the node that owns it
+// under the network's addressing mode.
+func (n *Network) dstNode(a packet.Addr) topology.NodeID {
+	return topology.NodeID(uint32(a) >> n.addrShift)
+}
+
+// AddrOf returns the packet address a packet must carry to be delivered
+// at node id under the network's addressing mode.
+func (n *Network) AddrOf(id topology.NodeID) packet.Addr {
+	return packet.Addr(uint32(id) << n.addrShift)
+}
+
+// nextKey allocates the next deterministic ordering key for an event
+// originating at node v: (origin node, per-origin sequence). Keys are
+// unique per origin and allocated in the origin's own execution order,
+// so they are identical at any shard count.
+func (n *Network) nextKey(v topology.NodeID) uint64 {
+	k := uint64(v)<<32 | uint64(n.keySeq[v])
+	n.keySeq[v]++
+	return k
 }
 
 // netObs bundles the forwarding plane's instruments. Drop counters are
@@ -367,6 +460,12 @@ func (n *Network) InvalidateTopology() {
 		}
 	}
 	n.nodesByID = nodesByID
+
+	if len(n.keySeq) < int(maxID)+1 {
+		keySeq := make([]uint32, maxID+1)
+		copy(keySeq, n.keySeq)
+		n.keySeq = keySeq
+	}
 }
 
 // insertAdj inserts e into row keeping it sorted by neighbor ID, so
@@ -471,6 +570,15 @@ type flight struct {
 	dir  Direction
 	hops int    // forward hops taken, for the obs hop histogram
 	run  func() // method value for f.step, created once per flight
+
+	// buf is the flight-owned byte buffer used by Inject: the packet is
+	// copied into it so the caller's buffer can be reused immediately,
+	// and it is retained across recycles so steady-state injection does
+	// not allocate.
+	buf []byte
+	// pooled marks fire-and-forget flights whose Trace returns to the
+	// network's trace pool on termination.
+	pooled bool
 }
 
 // newFlight returns a recycled or fresh flight context.
@@ -486,19 +594,37 @@ func (n *Network) newFlight() *flight {
 }
 
 // releaseFlight recycles a terminated flight. The decoded TIP keeps its
-// option structs so DecodeReuse on the next tenant is allocation-free.
+// option structs so DecodeReuse on the next tenant is allocation-free;
+// flight-owned buffers (Inject) are likewise retained.
 func (n *Network) releaseFlight(f *flight) {
+	if f.pooled && f.t != nil {
+		n.traceFree = append(n.traceFree, f.t)
+		f.pooled = false
+	}
 	f.t = nil
 	f.data = nil
 	f.node = nil
 	n.flightFree = append(n.flightFree, f)
 }
 
+// newTrace returns a pooled or fresh Trace initialized for a send now.
+func (n *Network) newTrace() *Trace {
+	if k := len(n.traceFree); k > 0 {
+		t := n.traceFree[k-1]
+		n.traceFree = n.traceFree[:k-1]
+		*t = Trace{Events: t.Events[:0], SentAt: n.Sched.Now()}
+		return t
+	}
+	return &Trace{SentAt: n.Sched.Now(), Events: make([]TraceEvent, 0, n.TraceEventCap)}
+}
+
 // step runs the flight's packet through the node it has arrived at. It is
 // scheduled via f.run for every hop.
 func (f *flight) step() {
 	if f.dir == Sending {
-		f.t.record(f.net.Sched.Now(), f.node.ID, "send", "")
+		if !f.pooled {
+			f.t.record(f.net.Sched.Now(), f.node.ID, "send", "")
+		}
 		if err := f.tip.DecodeReuse(f.data); err != nil {
 			f.net.dropFlight(f, f.node.ID, "malformed")
 			return
@@ -523,11 +649,55 @@ func (n *Network) Send(src topology.NodeID, data []byte) *Trace {
 	if n.tracer.Enabled() {
 		n.tracer.Emit(obs.Event{Time: int64(n.Sched.Now()), Scope: "netsim", Kind: "send", Node: int64(src)})
 	}
-	n.Sched.After(0, f.run)
+	if n.keyed {
+		n.Sched.AtKeyed(n.Sched.Now(), n.nextKey(src), f.run)
+	} else {
+		n.Sched.After(0, f.run)
+	}
 	return t
 }
 
-func (n *Network) drop(t *Trace, node topology.NodeID, reason string) {
+// Inject sends a packet at src fire-and-forget: the bytes are copied
+// into a flight-owned buffer (the caller's slice may be reused
+// immediately) and the Trace is drawn from and returned to a pool when
+// the packet terminates. Scale scenarios injecting 10^7 packets use it
+// to keep steady-state traffic free of per-packet allocation.
+func (n *Network) Inject(src topology.NodeID, data []byte) {
+	f := n.newFlight()
+	f.t = n.newTrace()
+	f.pooled = true
+	f.buf = append(f.buf[:0], data...)
+	f.data = f.buf
+	f.node = n.Node(src)
+	f.dir = Sending
+	f.hops = 0
+	if n.obs != nil {
+		n.obs.sends.Inc()
+	}
+	if n.tracer.Enabled() {
+		n.tracer.Emit(obs.Event{Time: int64(n.Sched.Now()), Scope: "netsim", Kind: "send", Node: int64(src)})
+	}
+	if n.keyed {
+		n.Sched.AtKeyed(n.Sched.Now(), n.nextKey(src), f.run)
+	} else {
+		n.Sched.After(0, f.run)
+	}
+}
+
+// AtNode schedules a user callback (typically a traffic generator's next
+// send) at time t, ordered by an event key allocated from node v. In
+// keyed (sharded) mode this is what makes generator callbacks interleave
+// with packet arrivals identically at every shard count; unkeyed
+// networks fall back to plain At.
+func (n *Network) AtNode(t sim.Time, v topology.NodeID, fn func()) {
+	if n.keyed {
+		n.Sched.AtKeyed(t, n.nextKey(v), fn)
+	} else {
+		n.Sched.At(t, fn)
+	}
+}
+
+func (n *Network) drop(t *Trace, node topology.NodeID, reason string, quiet bool) {
 	n.Dropped++
 	n.Stats.Inc(n.dropKeys.Key(reason))
 	if n.obs != nil {
@@ -540,12 +710,14 @@ func (n *Network) drop(t *Trace, node topology.NodeID, reason string) {
 	t.DropNode = node
 	t.DropReason = reason
 	t.DoneAt = n.Sched.Now()
-	t.record(n.Sched.Now(), node, "drop", reason)
+	if !quiet {
+		t.record(n.Sched.Now(), node, "drop", reason)
+	}
 }
 
 // dropFlight terminates a flight with a drop and recycles its context.
 func (n *Network) dropFlight(f *flight, node topology.NodeID, reason string) {
-	n.drop(f.t, node, reason)
+	n.drop(f.t, node, reason, f.pooled)
 	n.releaseFlight(f)
 }
 
@@ -564,7 +736,7 @@ func (nd *Node) process(f *flight) {
 	}
 	dir := f.dir
 	if dir != Sending {
-		if f.tip.Dst.Provider() == uint16(nd.ID) {
+		if n.dstNode(f.tip.Dst) == nd.ID {
 			dir = Delivering
 		} else {
 			dir = Forwarding
@@ -577,7 +749,9 @@ func (nd *Node) process(f *flight) {
 		}
 		out, verdict := m.Process(nd.ID, dir, f.data)
 		if verdict == Drop {
-			nd.Counters.Inc("mbox_drop")
+			if nd.Counters != nil {
+				nd.Counters.Inc("mbox_drop")
+			}
 			if n.obs != nil {
 				n.obs.mboxDrops.Inc()
 			}
@@ -608,7 +782,7 @@ func (nd *Node) process(f *flight) {
 				n.dropFlight(f, nd.ID, n.malformedKeys.Key(m.Name()))
 				return
 			}
-			if f.tip.Dst.Provider() == uint16(nd.ID) {
+			if n.dstNode(f.tip.Dst) == nd.ID {
 				dir = Delivering
 			} else if dir == Delivering {
 				dir = Forwarding
@@ -620,8 +794,12 @@ func (nd *Node) process(f *flight) {
 		t := f.t
 		t.Delivered = true
 		t.DoneAt = n.Sched.Now()
-		t.record(n.Sched.Now(), nd.ID, "deliver", "")
-		nd.Counters.Inc("delivered")
+		if !f.pooled {
+			t.record(n.Sched.Now(), nd.ID, "deliver", "")
+		}
+		if nd.Counters != nil {
+			nd.Counters.Inc("delivered")
+		}
 		if n.obs != nil {
 			n.obs.delivered.Inc()
 			n.obs.latency.Observe(float64(t.DoneAt - t.SentAt))
@@ -648,8 +826,12 @@ func (nd *Node) process(f *flight) {
 			n.dropFlight(f, nd.ID, "ttl")
 			return
 		}
-		f.t.record(n.Sched.Now(), nd.ID, "forward", "")
-		nd.Counters.Inc("forwarded")
+		if !f.pooled {
+			f.t.record(n.Sched.Now(), nd.ID, "forward", "")
+		}
+		if nd.Counters != nil {
+			nd.Counters.Inc("forwarded")
+		}
 		f.hops++
 		if n.obs != nil {
 			n.obs.forwarded.Inc()
@@ -677,7 +859,9 @@ func (nd *Node) nextHop(f *flight) (topology.NodeID, bool) {
 			allowed := true
 			if nd.RequirePaymentForSourceRoute && tip.Payment == nil {
 				allowed = false
-				nd.Counters.Inc("srcroute_unpaid")
+				if nd.Counters != nil {
+					nd.Counters.Inc("srcroute_unpaid")
+				}
 			}
 			if allowed {
 				if wp == packet.MakeAddr(uint16(nd.ID), 0) || wp.Provider() == uint16(nd.ID) {
@@ -696,7 +880,9 @@ func (nd *Node) nextHop(f *flight) (topology.NodeID, bool) {
 						}
 					}
 				}
-				nd.Counters.Inc("srcroute_honored")
+				if nd.Counters != nil {
+					nd.Counters.Inc("srcroute_honored")
+				}
 				// Route toward the waypoint's provider. If the waypoint is
 				// a direct neighbor, use it.
 				target := topology.NodeID(wp.Provider())
@@ -762,33 +948,62 @@ func (n *Network) transmit(f *flight, from, to topology.NodeID, li int32) {
 	}
 	arrive := busy + link.Latency + n.HopProcessing
 	if n.impair != nil {
-		if imp := n.impair[li]; imp != nil && !imp.apply(n, f, to, arrive, txTime, &arrive) {
+		if imp := n.impair[li]; imp != nil && !imp.apply(n, f, from, to, di&1, arrive, txTime, &arrive) {
 			return
 		}
 	}
+	n.schedArrival(f, from, to, arrive)
+}
+
+// schedArrival hands an in-flight packet to its next node: through the
+// local scheduler, or through the sharded handoff when the next hop is
+// owned by another shard. In keyed mode the event key is allocated from
+// the sending node in the sender's own execution order, so same-time
+// arrival ordering is identical at every shard count.
+func (n *Network) schedArrival(f *flight, from, to topology.NodeID, arrive sim.Time) {
+	if !n.keyed {
+		f.node = n.Node(to)
+		f.dir = Forwarding
+		n.Sched.At(arrive, f.run)
+		return
+	}
+	key := n.nextKey(from)
+	if n.shardOf != nil && n.shardOf[to] != n.shardID {
+		n.handoff(f, to, arrive, key)
+		return
+	}
 	f.node = n.Node(to)
 	f.dir = Forwarding
-	n.Sched.At(arrive, f.run)
+	n.Sched.AtKeyed(arrive, key, f.run)
 }
 
 // apply runs one impaired link's coin flips on a transiting packet.
 // Returns false when the packet was consumed (corrupted and dropped);
-// otherwise *out holds the possibly-jittered arrival time. The RNG is
-// owned by the impairment and advances once per probability configured,
-// so outcomes are a pure function of the impairment seed and the order
-// of transmissions over the link.
-func (imp *LinkImpairment) apply(n *Network, f *flight, to topology.NodeID, arrive, txTime sim.Time, out *sim.Time) bool {
-	if imp.Corrupt > 0 && imp.rng.Bool(imp.Corrupt) {
+// otherwise *out holds the possibly-jittered arrival time. dir is the
+// directed-link bit (0 for A→B, 1 for B→A). On an unkeyed network a
+// single RNG is owned by the impairment and advances once per
+// probability configured, so outcomes are a pure function of the
+// impairment seed and the order of transmissions over the link. Keyed
+// (sharded) networks use a per-direction fork instead: each direction's
+// transmissions are executed by the sender's shard in an order that is
+// shard-count-independent, while the interleaving of the two directions
+// is not — forking the stream per direction removes that dependence.
+func (imp *LinkImpairment) apply(n *Network, f *flight, from, to topology.NodeID, dir int, arrive, txTime sim.Time, out *sim.Time) bool {
+	rng := imp.rng
+	if imp.dirRNG[dir] != nil {
+		rng = imp.dirRNG[dir]
+	}
+	if imp.Corrupt > 0 && rng.Bool(imp.Corrupt) {
 		// The corruption is detected by the receiver's checksum: the drop
 		// is attributed to the downstream end, reason "corrupt".
 		n.dropFlight(f, to, "corrupt")
 		return false
 	}
-	if imp.Duplicate > 0 && imp.rng.Bool(imp.Duplicate) {
-		n.duplicate(f, to, arrive+txTime)
+	if imp.Duplicate > 0 && rng.Bool(imp.Duplicate) {
+		n.duplicate(f, from, to, arrive+txTime)
 	}
-	if imp.ReorderProb > 0 && imp.rng.Bool(imp.ReorderProb) && imp.ReorderJitter > 0 {
-		*out = arrive + sim.Time(imp.rng.Float64()*float64(imp.ReorderJitter))
+	if imp.ReorderProb > 0 && rng.Bool(imp.ReorderProb) && imp.ReorderJitter > 0 {
+		*out = arrive + sim.Time(rng.Float64()*float64(imp.ReorderJitter))
 	}
 	return true
 }
@@ -798,16 +1013,15 @@ func (imp *LinkImpairment) apply(n *Network, f *flight, to topology.NodeID, arri
 // and internal trace; its fate shows up in the usual delivery/drop
 // counters (tagged by the "dup-injected" stat), not in the original
 // packet's trace.
-func (n *Network) duplicate(f *flight, to topology.NodeID, arrive sim.Time) {
+func (n *Network) duplicate(f *flight, from, to topology.NodeID, arrive sim.Time) {
 	g := n.newFlight()
 	g.t = &Trace{SentAt: f.t.SentAt, Events: make([]TraceEvent, 0, n.TraceEventCap)}
-	g.data = append([]byte(nil), f.data...)
+	g.data = append(g.buf[:0], f.data...)
+	g.buf = g.data
 	if err := g.tip.DecodeReuse(g.data); err != nil {
 		n.releaseFlight(g)
 		return
 	}
-	g.node = n.Node(to)
-	g.dir = Forwarding
 	g.hops = f.hops
 	n.Stats.Inc("dup-injected")
 	if n.tracer.Enabled() {
@@ -816,7 +1030,7 @@ func (n *Network) duplicate(f *flight, to topology.NodeID, arrive sim.Time) {
 		// (deliver or drop) stems from exactly one send or dup.
 		n.tracer.Emit(obs.Event{Time: int64(n.Sched.Now()), Scope: "netsim", Kind: "dup", Node: int64(to)})
 	}
-	n.Sched.At(arrive, g.run)
+	n.schedArrival(g, from, to, arrive)
 }
 
 // DeliveryRatio returns delivered / (delivered + dropped), or 0 when no

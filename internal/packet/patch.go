@@ -40,6 +40,20 @@ func DecrementTTL(data []byte) (uint8, error) {
 	return data[4], nil
 }
 
+// SetDst overwrites the destination address of a serialized TIP packet in
+// place and repairs the checksum. Scale traffic generators use it to
+// retarget one pre-serialized template packet per source instead of
+// re-serializing every send.
+func SetDst(data []byte, dst Addr) error {
+	hlen, err := tipHeaderLen(data)
+	if err != nil {
+		return err
+	}
+	putAddr(data[12:], dst)
+	refreshChecksum(data, hlen)
+	return nil
+}
+
 // AdvanceSourceRoute increments the source-route pointer of a serialized
 // TIP packet in place (repairing the checksum) and returns the next
 // waypoint after the advance, or AddrNone when the route is exhausted.

@@ -144,3 +144,38 @@ func TestPatchedPacketAlwaysReverifiesQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSetDstPreservesValidity(t *testing.T) {
+	data := serializeSR(t, 8, nil, 0)
+	for _, dst := range []Addr{MakeAddr(2, 7), MakeAddr(0, 1), Addr(0xdeadbeef)} {
+		if err := SetDst(data, dst); err != nil {
+			t.Fatalf("SetDst(%v): %v", dst, err)
+		}
+		tip := decodeOK(t, data) // checksum must still verify
+		if tip.Dst != dst {
+			t.Fatalf("decoded Dst = %v, want %v", tip.Dst, dst)
+		}
+		if tip.TTL != 8 || tip.Src != MakeAddr(1, 1) {
+			t.Fatalf("SetDst disturbed other fields: %+v", tip)
+		}
+	}
+}
+
+func TestSetDstWithOptionsAndErrors(t *testing.T) {
+	// Options after the fixed header must survive a retarget.
+	hops := []Addr{MakeAddr(3, 0), MakeAddr(5, 0)}
+	data := serializeSR(t, 9, hops, 0)
+	if err := SetDst(data, MakeAddr(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	tip := decodeOK(t, data)
+	if tip.Dst != MakeAddr(4, 4) {
+		t.Fatalf("Dst = %v", tip.Dst)
+	}
+	if tip.SourceRoute == nil || len(tip.SourceRoute.Hops) != 2 {
+		t.Fatalf("source route lost: %+v", tip.SourceRoute)
+	}
+	if err := SetDst([]byte{1, 2, 3}, MakeAddr(1, 1)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}

@@ -1,0 +1,449 @@
+// Package scale is the ISP-scale workload for the sharded simulation
+// core: a generated scale-free (Barabási–Albert) internetwork with wide
+// packet addressing, static shortest-path routing toward a small set of
+// sink nodes, and fire-and-forget traffic injection sized in millions
+// of packets. Everything — topology, routing tables, send times, sink
+// choices, and the optional chaos faults — is a pure function of the
+// config, and the sharded core guarantees the outcome is additionally
+// independent of the shard count and of sequential-vs-parallel
+// execution. Render() is the byte-comparable digest CI pins.
+package scale
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Config parameterizes one scale run.
+type Config struct {
+	// Nodes and M shape the Barabási–Albert topology (M links per new
+	// node).
+	Nodes int
+	M     int
+	// Sinks is how many nodes absorb traffic; they are spread evenly
+	// across the ID space. All other nodes originate packets.
+	Sinks int
+	// Packets is the total packet count, split evenly across sources.
+	Packets int
+	// Seed drives every random choice (topology, send times, sink
+	// selection, chaos).
+	Seed uint64
+	// Shards is the partition width; Parallel selects the epoch-barrier
+	// driver over the sequential lockstep driver.
+	Shards   int
+	Parallel bool
+	// Chaos injects a deterministic fault schedule (link failures and
+	// recoveries, node crashes, packet impairments) during the run.
+	Chaos bool
+	// Payload is the per-packet payload size in bytes (default 64).
+	Payload int
+	// Horizon is the traffic injection window (default 200ms); the run
+	// itself continues until all in-flight packets terminate.
+	Horizon sim.Time
+	// Obs attaches per-shard metric registries (merged in the Result).
+	Obs bool
+}
+
+// Result is the outcome of a scale run.
+type Result struct {
+	Config     Config
+	Nodes      int
+	Links      int
+	CrossLinks int
+	Window     sim.Time
+	Delivered  int
+	Dropped    int
+	Processed  uint64
+	Stats      sim.Counter
+	// Metrics is the merged per-shard obs registry (nil unless
+	// Config.Obs).
+	Metrics *obs.Registry
+}
+
+// chaosStream and trafficStream separate the seed's derived RNG streams
+// so adding chaos cannot perturb traffic randomness.
+const (
+	trafficStream = uint64(0)
+	chaosStream   = uint64(1) << 40
+)
+
+// probeStream seeds SendProbes; distinct from traffic and chaos so
+// probes never perturb either.
+const probeStream = uint64(1) << 41
+
+// Sim is a prepared but not-yet-run scale scenario: topology built,
+// routes installed, traffic and chaos armed. It exists so callers can
+// attach extra instrumentation — an invariant checker sink, traced
+// probe packets — between build and drain.
+type Sim struct {
+	Cfg   Config
+	S     *netsim.Sharded
+	G     *topology.Graph
+	Sinks []topology.NodeID
+
+	isSink []bool
+	regs   []*obs.Registry
+}
+
+// Run executes one scale scenario to completion.
+func Run(cfg Config) *Result { return Prepare(cfg).Run() }
+
+// Prepare builds a scale scenario without draining it.
+func Prepare(cfg Config) *Sim {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1000
+	}
+	if cfg.M <= 0 {
+		cfg.M = 2
+	}
+	if cfg.Sinks <= 0 {
+		// Sinks scale with the topology so the aggregate sink ingress
+		// capacity scales with the packet load; a handful of sinks under
+		// millions of packets would just measure queue-overflow.
+		cfg.Sinks = 8
+		if cfg.Nodes/500 > cfg.Sinks {
+			cfg.Sinks = cfg.Nodes / 500
+		}
+	}
+	if cfg.Sinks >= cfg.Nodes {
+		cfg.Sinks = cfg.Nodes / 2
+	}
+	if cfg.Packets <= 0 {
+		cfg.Packets = 10 * cfg.Nodes
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Payload <= 0 {
+		cfg.Payload = 64
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 200 * sim.Millisecond
+	}
+
+	rng := sim.NewRNG(cfg.Seed)
+	g := topology.GenerateScaleFree(cfg.Nodes, cfg.M, rng)
+	s := netsim.NewSharded(g, cfg.Shards)
+	s.Parallel = cfg.Parallel
+	for _, sh := range s.Shards {
+		sh.Net.WideAddressing()
+	}
+	var regs []*obs.Registry
+	if cfg.Obs {
+		regs = s.AttachObs(nil)
+	}
+
+	ids := g.NodeIDs()
+	sinks := make([]topology.NodeID, cfg.Sinks)
+	isSink := make([]bool, ids[len(ids)-1]+1)
+	for i := range sinks {
+		sinks[i] = ids[i*len(ids)/cfg.Sinks]
+		isSink[sinks[i]] = true
+	}
+	next := nextHopTables(g, sinks)
+	sinkIdx := make([]int32, len(isSink))
+	for i := range sinkIdx {
+		sinkIdx[i] = -1
+	}
+	for i, sk := range sinks {
+		sinkIdx[sk] = int32(i)
+	}
+
+	// Static shortest-path routing toward sinks: each node's RouteFunc
+	// is a dense double index (sink table, then node), no maps on the
+	// hot path.
+	for _, v := range ids {
+		v := v
+		s.Owner(v).Node(v).Route = func(dst packet.Addr, tip *packet.TIP) (topology.NodeID, bool) {
+			d := uint32(dst)
+			if d >= uint32(len(sinkIdx)) {
+				return 0, false
+			}
+			si := sinkIdx[d]
+			if si < 0 {
+				return 0, false
+			}
+			nh := next[si][v]
+			return nh, nh != 0
+		}
+	}
+
+	scheduleTraffic(s, cfg, ids, sinks, isSink)
+	if cfg.Chaos {
+		scheduleChaos(s, cfg, g)
+	}
+
+	return &Sim{Cfg: cfg, S: s, G: g, Sinks: sinks, isSink: isSink, regs: regs}
+}
+
+// AttachSink attaches one shared tracer sink to every shard's network
+// (alongside any metric registry from Config.Obs). A shared sink is not
+// safe under the parallel driver, so this forces the lockstep driver —
+// which additionally delivers the sink a single globally time-ordered
+// event stream, exactly what the invariant checker consumes.
+func (sm *Sim) AttachSink(sink obs.Sink) {
+	sm.S.Parallel = false
+	tr := obs.NewTracer(sink)
+	for i, sh := range sm.S.Shards {
+		var reg *obs.Registry
+		if sm.regs != nil {
+			reg = sm.regs[i]
+		}
+		sh.Net.AttachObs(reg, tr)
+	}
+}
+
+// SendProbes sends k fully-traced packets at time zero from sources
+// spread deterministically across the ID space, each targeting a
+// random sink. Unlike the fire-and-forget bulk traffic, probes keep
+// their hop-by-hop traces, so a checker can audit complete paths.
+func (sm *Sim) SendProbes(k int) []*netsim.Trace {
+	rng := sim.NewRNG(sim.SeedStream(sm.Cfg.Seed, probeStream))
+	ids := sm.G.NodeIDs()
+	traces := make([]*netsim.Trace, 0, k)
+	for len(traces) < k {
+		src := ids[rng.Intn(len(ids))]
+		if sm.isSink[src] {
+			continue
+		}
+		sink := sm.Sinks[rng.Intn(len(sm.Sinks))]
+		data, err := packet.Serialize(
+			&packet.TIP{TTL: 64, Proto: packet.LayerTypeRaw,
+				Src: sm.S.Owner(src).AddrOf(src), Dst: sm.S.Owner(src).AddrOf(sink)},
+			&packet.Raw{Data: []byte("probe")})
+		if err != nil {
+			panic(err)
+		}
+		traces = append(traces, sm.S.Send(src, data))
+	}
+	return traces
+}
+
+// Run drains the prepared scenario and summarizes it.
+func (sm *Sim) Run() *Result {
+	cfg, s, g := sm.Cfg, sm.S, sm.G
+	s.Run()
+
+	res := &Result{
+		Config:     cfg,
+		Nodes:      len(g.Nodes),
+		Links:      len(g.Links),
+		CrossLinks: s.Part.CrossLinks(g),
+		Window:     s.Window,
+		Delivered:  s.Delivered(),
+		Dropped:    s.Dropped(),
+		Processed:  s.Processed(),
+		Stats:      s.Stats(),
+	}
+	if cfg.Obs {
+		res.Metrics = netsim.MergedObs(sm.regs)
+	}
+	return res
+}
+
+// nextHopTables runs one BFS per sink, producing dense node ->
+// next-hop-toward-sink tables. Entry 0 means unreachable (node IDs
+// start at 1). The BFS runs over a CSR copy of the adjacency built once
+// from the link list (sorted rows for deterministic traversal order) —
+// at hundreds of sinks over 10^5 nodes, per-visit map lookups through
+// Graph.Neighbors would dominate setup time.
+func nextHopTables(g *topology.Graph, sinks []topology.NodeID) [][]topology.NodeID {
+	maxID := topology.NodeID(0)
+	for id := range g.Nodes {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	offs := make([]int32, maxID+2)
+	for _, l := range g.Links {
+		offs[l.A+1]++
+		offs[l.B+1]++
+	}
+	for i := 1; i < len(offs); i++ {
+		offs[i] += offs[i-1]
+	}
+	nbrs := make([]topology.NodeID, 2*len(g.Links))
+	fill := make([]int32, maxID+1)
+	for _, l := range g.Links {
+		nbrs[offs[l.A]+fill[l.A]] = l.B
+		fill[l.A]++
+		nbrs[offs[l.B]+fill[l.B]] = l.A
+		fill[l.B]++
+	}
+	for v := topology.NodeID(0); v <= maxID; v++ {
+		row := nbrs[offs[v] : offs[v]+fill[v]]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	}
+	out := make([][]topology.NodeID, len(sinks))
+	queue := make([]topology.NodeID, 0, len(g.Nodes))
+	for i, sk := range sinks {
+		tbl := make([]topology.NodeID, maxID+1)
+		seen := make([]bool, maxID+1)
+		queue = queue[:0]
+		seen[sk] = true
+		queue = append(queue, sk)
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			for _, nb := range nbrs[offs[v] : offs[v]+fill[v]] {
+				if seen[nb] {
+					continue
+				}
+				seen[nb] = true
+				// nb's first hop toward the sink is v.
+				tbl[nb] = v
+				queue = append(queue, nb)
+			}
+		}
+		out[i] = tbl
+	}
+	return out
+}
+
+// scheduleTraffic arms one fire-and-forget send chain per source node.
+// Every chain draws from its own per-node RNG stream
+// (SeedStream(seed, node)), so send times and sink choices are a pure
+// function of (seed, node) — never of the partition. One pre-serialized
+// template packet per shard is retargeted in place (packet.SetDst) for
+// every send; Inject copies it into a flight-owned buffer, so the
+// steady state allocates nothing.
+func scheduleTraffic(s *netsim.Sharded, cfg Config, ids, sinks []topology.NodeID, isSink []bool) {
+	sources := make([]topology.NodeID, 0, len(ids)-len(sinks))
+	for _, id := range ids {
+		if !isSink[id] {
+			sources = append(sources, id)
+		}
+	}
+	if len(sources) == 0 {
+		return
+	}
+	scratch := make([][]byte, len(s.Shards))
+	for i := range scratch {
+		data, err := packet.Serialize(
+			&packet.TIP{TTL: 64, Proto: packet.LayerTypeRaw,
+				Src: packet.MakeAddr(0, 1), Dst: packet.AddrNone},
+			&packet.Raw{Data: make([]byte, cfg.Payload)})
+		if err != nil {
+			panic(err)
+		}
+		scratch[i] = data
+	}
+	base, rem := cfg.Packets/len(sources), cfg.Packets%len(sources)
+	for si, src := range sources {
+		quota := base
+		if si < rem {
+			quota++
+		}
+		if quota == 0 {
+			continue
+		}
+		src := src
+		net := s.Owner(src)
+		shard := s.Part.ShardOf(src)
+		rng := sim.NewRNG(sim.SeedStream(cfg.Seed, trafficStream|uint64(src)))
+		mean := float64(cfg.Horizon) / float64(quota)
+		gap := func() sim.Time {
+			t := sim.Time(rng.Range(0.2, 1.8) * mean)
+			if t < 1 {
+				t = 1
+			}
+			return t
+		}
+		sent := 0
+		var fire func()
+		fire = func() {
+			buf := scratch[shard]
+			sink := sinks[rng.Intn(len(sinks))]
+			if err := packet.SetDst(buf, net.AddrOf(sink)); err != nil {
+				panic(err)
+			}
+			net.Inject(src, buf)
+			sent++
+			if sent < quota {
+				net.AtNode(net.Sched.Now()+gap(), src, fire)
+			}
+		}
+		net.AtNode(gap(), src, fire)
+	}
+}
+
+// scheduleChaos derives a deterministic fault schedule from the seed:
+// link failures with recovery, node crashes with recovery, and packet
+// impairments, all concentrated inside the traffic horizon so faults
+// actually meet traffic. Fault times and subjects come from a dedicated
+// RNG stream, and every mutation is replicated to all shards through
+// FaultAt, so the schedule is shard-count-independent.
+func scheduleChaos(s *netsim.Sharded, cfg Config, g *topology.Graph) {
+	rng := sim.NewRNG(sim.SeedStream(cfg.Seed, chaosStream))
+	h := float64(cfg.Horizon)
+	nLinkFaults := 4 + cfg.Nodes/1000
+	for i := 0; i < nLinkFaults; i++ {
+		l := g.Links[rng.Intn(len(g.Links))]
+		t0 := sim.Time(rng.Range(0.05, 0.6) * h)
+		t1 := t0 + sim.Time(rng.Range(0.05, 0.3)*h)
+		a, b := l.A, l.B
+		s.FaultAt(t0, func(n *netsim.Network) { n.FailLink(a, b) })
+		s.FaultAt(t1, func(n *netsim.Network) { n.RestoreLink(a, b) })
+	}
+	nCrashes := 2 + cfg.Nodes/2000
+	for i := 0; i < nCrashes; i++ {
+		v := topology.NodeID(1 + rng.Intn(cfg.Nodes))
+		t0 := sim.Time(rng.Range(0.05, 0.6) * h)
+		t1 := t0 + sim.Time(rng.Range(0.05, 0.3)*h)
+		s.FaultAt(t0, func(n *netsim.Network) { n.FailNode(v) })
+		s.FaultAt(t1, func(n *netsim.Network) { n.RecoverNode(v) })
+	}
+	nImpair := 2 + cfg.Nodes/2000
+	for i := 0; i < nImpair; i++ {
+		l := g.Links[rng.Intn(len(g.Links))]
+		t0 := sim.Time(rng.Range(0.05, 0.4) * h)
+		a, b := l.A, l.B
+		imp := netsim.LinkImpairment{
+			Corrupt:       rng.Range(0.01, 0.05),
+			Duplicate:     rng.Range(0.01, 0.05),
+			ReorderProb:   rng.Range(0.05, 0.2),
+			ReorderJitter: sim.Time(rng.Range(0.5, 2)) * sim.Millisecond,
+		}
+		// The impairment RNG seed is derived outside the closure so all
+		// shards install byte-identical generators.
+		impSeed := rng.Uint64()
+		s.FaultAt(t0, func(n *netsim.Network) {
+			n.ImpairLink(a, b, imp, sim.NewRNG(impSeed))
+		})
+	}
+}
+
+// Render is the deterministic digest of a run: identical bytes for
+// identical configs at any shard count, sequential or parallel. Event
+// counts are intentionally excluded (replicated fault events scale with
+// the shard count); every packet-visible quantity is included.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scale: nodes=%d links=%d sinks=%d packets=%d seed=%d chaos=%v\n",
+		r.Nodes, r.Links, r.Config.Sinks, r.Config.Packets, r.Config.Seed, r.Config.Chaos)
+	fmt.Fprintf(&b, "delivered=%d dropped=%d ratio=%.6f\n",
+		r.Delivered, r.Dropped,
+		float64(r.Delivered)/float64(maxInt(1, r.Delivered+r.Dropped)))
+	keys := make([]string, 0, len(r.Stats))
+	for k := range r.Stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "stat %s=%d\n", k, r.Stats[k])
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

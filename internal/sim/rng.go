@@ -126,3 +126,25 @@ func (r *RNG) Pick(weights []float64) int {
 func (r *RNG) Fork() *RNG {
 	return NewRNG(r.Uint64())
 }
+
+// StreamFork derives an independent generator identified by stream from
+// this one WITHOUT advancing the parent's sequence: the child's seed is a
+// pure function of (parent state, stream). The sharded simulation core
+// forks one stream per node (and per impaired link direction) this way,
+// so every node's randomness is a function of the root seed and the node
+// alone — never of how nodes are partitioned across shards — which keeps
+// sharded runs byte-identical at any shard count.
+func (r *RNG) StreamFork(stream uint64) *RNG {
+	return NewRNG(SeedStream(r.state, stream))
+}
+
+// SeedStream mixes a base seed with a stream number into an independent
+// seed, using one splitmix64 step over their combination. Deterministic
+// and allocation-free; use it to derive per-entity seeds (per node, per
+// shard, per link) from an experiment's root seed.
+func SeedStream(base, stream uint64) uint64 {
+	z := base + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -43,6 +43,7 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 // (and stale heap entries) can never touch a recycled slot's new tenant.
 type event struct {
 	at   Time
+	key  uint64 // deterministic cross-run tie-breaker (see AtKeyed); 0 for At
 	seq  uint64 // tie-breaker: FIFO among same-time events; globally unique
 	fn   func()
 	born Time // scheduling time, for the obs event-lag span
@@ -57,12 +58,13 @@ type EventID struct {
 	gen  uint32
 }
 
-// heapEntry is one element of the scheduler's binary heap. The ordering
-// key (at, seq) is stored inline so comparisons never chase a pointer,
-// and seq doubles as the liveness check against the pool slot: a slot
-// recycled since this entry was pushed carries a different seq.
+// heapEntry is one element of the scheduler's 4-ary min-heap. The ordering
+// key (at, key, seq) is stored inline so comparisons never chase a
+// pointer, and seq doubles as the liveness check against the pool slot: a
+// slot recycled since this entry was pushed carries a different seq.
 type heapEntry struct {
 	at   Time
+	key  uint64
 	seq  uint64
 	slot uint32
 }
@@ -70,6 +72,9 @@ type heapEntry struct {
 func entryLess(a, b heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.key != b.key {
+		return a.key < b.key
 	}
 	return a.seq < b.seq
 }
@@ -88,7 +93,7 @@ type Scheduler struct {
 	seq     uint64
 	events  []event     // slot pool
 	free    []uint32    // recycled slot indices
-	queue   []heapEntry // binary min-heap by (at, seq)
+	queue   []heapEntry // 4-ary min-heap by (at, key, seq)
 	dead    int         // cancelled events whose heap entries are not yet drained
 	stopped bool
 
@@ -165,12 +170,25 @@ func (s *Scheduler) release(idx uint32) {
 // At schedules fn at the absolute simulated time at. Scheduling in the past
 // panics: it would silently reorder causality.
 func (s *Scheduler) At(at Time, fn func()) EventID {
+	return s.AtKeyed(at, 0, fn)
+}
+
+// AtKeyed schedules fn at the absolute time at with an explicit ordering
+// key. Same-time events dispatch in ascending key order (ties among equal
+// keys fall back to scheduling order, as with At). The sharded simulation
+// core uses keys derived from the event's origin node, so that same-time
+// ordering is a pure function of the simulation — independent of how
+// nodes are partitioned across shard schedulers — which is what keeps
+// sharded runs byte-identical at any shard count. Plain At is AtKeyed
+// with key 0, so single-scheduler callers are unaffected.
+func (s *Scheduler) AtKeyed(at Time, key uint64, fn func()) EventID {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
 	idx := s.acquire()
 	ev := &s.events[idx]
 	ev.at = at
+	ev.key = key
 	ev.seq = s.seq
 	ev.fn = fn
 	ev.born = s.now
@@ -179,7 +197,7 @@ func (s *Scheduler) At(at Time, fn func()) EventID {
 	if s.obs != nil {
 		s.obs.scheduled.Inc()
 	}
-	s.push(heapEntry{at: at, seq: ev.seq, slot: idx})
+	s.push(heapEntry{at: at, key: key, seq: ev.seq, slot: idx})
 	return EventID{slot: idx + 1, gen: ev.gen}
 }
 
@@ -270,16 +288,25 @@ func (s *Scheduler) popLive() (at Time, fn func(), ok bool) {
 // peekLive returns the timestamp of the earliest live event without
 // removing it, draining dead entries from the top of the heap.
 func (s *Scheduler) peekLive() (Time, bool) {
+	at, _, ok := s.PeekNext()
+	return at, ok
+}
+
+// PeekNext returns the (time, key) of the earliest live event without
+// removing it, draining dead entries from the top of the heap. The
+// sharded lockstep driver uses it to merge K shard schedulers into one
+// global (time, key)-ordered dispatch sequence.
+func (s *Scheduler) PeekNext() (Time, uint64, bool) {
 	for len(s.queue) > 0 {
 		e := s.queue[0]
 		ev := &s.events[e.slot]
 		if ev.live && ev.seq == e.seq {
-			return e.at, true
+			return e.at, e.key, true
 		}
 		s.pop()
 		s.dead--
 	}
-	return 0, false
+	return 0, 0, false
 }
 
 // RunUntil executes events with timestamps <= deadline, advances the clock
@@ -315,13 +342,20 @@ func (s *Scheduler) Step() bool {
 	return true
 }
 
+// The queue is a 4-ary min-heap: half the depth of a binary heap, and
+// the four children of a node sit in two adjacent cache lines, so the
+// dominant cost of a pop on a large queue — one cache miss per level —
+// is roughly halved. Heap shape cannot affect dispatch order: entryLess
+// is a strict total order ((at, key, seq) with seq globally unique), so
+// every correct heap yields the same pop sequence.
+
 // push adds an entry to the heap.
 func (s *Scheduler) push(e heapEntry) {
 	s.queue = append(s.queue, e)
 	// Sift up.
 	i := len(s.queue) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if !entryLess(s.queue[i], s.queue[parent]) {
 			break
 		}
@@ -343,13 +377,19 @@ func (s *Scheduler) pop() {
 func (s *Scheduler) siftDown(i int) {
 	n := len(s.queue)
 	for {
-		l := 2*i + 1
+		l := 4*i + 1
 		if l >= n {
 			return
 		}
 		m := l
-		if r := l + 1; r < n && entryLess(s.queue[r], s.queue[l]) {
-			m = r
+		hi := l + 4
+		if hi > n {
+			hi = n
+		}
+		for c := l + 1; c < hi; c++ {
+			if entryLess(s.queue[c], s.queue[m]) {
+				m = c
+			}
 		}
 		if !entryLess(s.queue[m], s.queue[i]) {
 			return

@@ -118,6 +118,89 @@ func indexOf(ids []NodeID, id NodeID) int {
 	return -1
 }
 
+// GenerateScaleFree builds a connected Barabási–Albert-style topology of
+// n nodes by preferential attachment: the graph starts as a clique of
+// m+1 seed nodes, and every later node attaches m links to existing
+// nodes chosen with probability proportional to their current degree.
+// The resulting degree distribution is heavy-tailed — a few well-attached
+// hubs and many leaves — which is the shape real AS graphs have, and what
+// the scale benchmarks exercise so hub contention is represented.
+//
+// Node IDs are assigned densely starting at 1 (ID 0 stays reserved as
+// "none", matching GenerateHierarchy). Each attachment link is
+// CustomerOf from the new node's perspective (the newcomer buys transit
+// from the established node). Nodes that end up providing transit
+// (degree above m) are Transit tier 2, the seed clique is Transit
+// tier 1, and pure leaves are Stubs tier 3. Link latency is jittered
+// around 2ms and cost around [1,10) from the caller's rng, so the graph
+// is a pure function of (n, m, rng state). The graph is connected by
+// construction: every node attaches to an earlier one.
+func GenerateScaleFree(n, m int, rng *sim.RNG) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n < m+1 {
+		n = m + 1
+	}
+	const baseLatency = 2 * sim.Millisecond
+	lat := func() sim.Time {
+		return sim.Time(rng.Range(0.5, 1.5) * float64(baseLatency))
+	}
+	cost := func() float64 { return rng.Range(1, 10) }
+
+	g := NewGraph()
+	for i := 1; i <= n; i++ {
+		g.AddNode(NodeID(i), Transit, 2)
+	}
+	// targets is the repeated-endpoint list: each node appears once per
+	// unit of degree, so a uniform draw from it is degree-preferential.
+	targets := make([]NodeID, 0, 2*(m*(m+1)/2+(n-m-1)*m))
+	// Seed clique of m+1 nodes.
+	seed := m + 1
+	for i := 1; i <= seed; i++ {
+		g.Nodes[NodeID(i)].Tier = 1
+		for j := i + 1; j <= seed; j++ {
+			g.AddLink(NodeID(i), NodeID(j), PeerOf, lat(), cost())
+			targets = append(targets, NodeID(i), NodeID(j))
+		}
+	}
+	picked := make([]NodeID, 0, m)
+	for v := seed + 1; v <= n; v++ {
+		picked = picked[:0]
+		for len(picked) < m {
+			t := targets[rng.Intn(len(targets))]
+			dup := false
+			for _, p := range picked {
+				if p == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				picked = append(picked, t)
+			}
+		}
+		for _, t := range picked {
+			g.AddLink(NodeID(v), t, CustomerOf, lat(), cost())
+			targets = append(targets, NodeID(v), t)
+		}
+	}
+	// Classify: nodes that only hold their own m attachments are leaves.
+	deg := make([]int, n+1)
+	for _, l := range g.Links {
+		deg[l.A]++
+		deg[l.B]++
+	}
+	for i := seed + 1; i <= n; i++ {
+		if deg[i] <= m {
+			nd := g.Nodes[NodeID(i)]
+			nd.Kind = Stub
+			nd.Tier = 3
+		}
+	}
+	return g
+}
+
 // Linear builds a simple chain topology a-b-c-... of transit nodes with
 // customer-of relationships pointing left-to-right providers; useful for
 // focused unit tests.

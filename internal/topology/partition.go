@@ -1,0 +1,105 @@
+package topology
+
+import "repro/internal/sim"
+
+// This file partitions a topology's nodes across K simulation shards.
+// The partition is a contiguous-range split of the dense node index
+// (NodeIDs in ascending order), so it is a pure function of the node set
+// and K — no hashing, no map iteration — and therefore reproducible
+// across runs and machines. The sharded simulation core sizes its
+// conservative-lookahead window from MinCrossLatency over the cut.
+
+// Partition assigns every node to one of k shards.
+type Partition struct {
+	// K is the shard count (>= 1).
+	K int
+	// shardOf maps NodeID -> shard index; dense, -1 for unknown IDs.
+	shardOf []int32
+	// Counts is the number of nodes per shard.
+	Counts []int
+}
+
+// PartitionContiguous splits the graph's nodes into k contiguous ranges
+// of the ascending NodeID order, balanced to within one node. k is
+// clamped to [1, number of nodes].
+func PartitionContiguous(g *Graph, k int) *Partition {
+	ids := g.NodeIDs()
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ids) && len(ids) > 0 {
+		k = len(ids)
+	}
+	maxID := NodeID(0)
+	for _, id := range ids {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	p := &Partition{K: k, shardOf: make([]int32, maxID+1), Counts: make([]int, k)}
+	for i := range p.shardOf {
+		p.shardOf[i] = -1
+	}
+	n := len(ids)
+	base, rem := 0, 0
+	if k > 0 {
+		base, rem = n/k, n%k
+	}
+	idx := 0
+	for s := 0; s < k; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		for j := 0; j < size; j++ {
+			p.shardOf[ids[idx]] = int32(s)
+			p.Counts[s]++
+			idx++
+		}
+	}
+	return p
+}
+
+// ShardOf returns the shard owning id, or -1 for unknown IDs.
+func (p *Partition) ShardOf(id NodeID) int32 {
+	if int(id) >= len(p.shardOf) {
+		return -1
+	}
+	return p.shardOf[id]
+}
+
+// Table exposes the dense NodeID -> shard mapping for hot-path use. The
+// returned slice is shared; callers must not modify it.
+func (p *Partition) Table() []int32 { return p.shardOf }
+
+// CrossLinks returns how many links have endpoints in different shards.
+func (p *Partition) CrossLinks(g *Graph) int {
+	cross := 0
+	for _, l := range g.Links {
+		if p.ShardOf(l.A) != p.ShardOf(l.B) {
+			cross++
+		}
+	}
+	return cross
+}
+
+// MinCrossLatency returns the smallest propagation latency over links
+// whose endpoints live in different shards, and whether any such link
+// exists. This is the conservative lookahead of the sharded event loop:
+// a packet crossing shards cannot arrive sooner than the smallest
+// cross-shard link latency after it was sent, so shards may safely run
+// one such window ahead of each other between barriers.
+func (p *Partition) MinCrossLatency(g *Graph) (sim.Time, bool) {
+	var min sim.Time
+	found := false
+	for _, l := range g.Links {
+		if p.ShardOf(l.A) == p.ShardOf(l.B) {
+			continue
+		}
+		if !found || l.Latency < min {
+			min = l.Latency
+			found = true
+		}
+	}
+	return min, found
+}

@@ -14,9 +14,12 @@ import (
 	"repro/internal/sim"
 )
 
-// NodeID identifies an autonomous system. It doubles as the provider
-// number in packet addresses.
-type NodeID uint16
+// NodeID identifies an autonomous system. In the default addressing mode
+// it doubles as the provider number in packet addresses (16 usable bits);
+// wide-addressing simulations (netsim.WideAddressing) treat the full
+// 32-bit packet address as the node number, so ISP-scale topologies of
+// 10^5–10^6 nodes are addressable without changing the wire format.
+type NodeID uint32
 
 // Kind classifies a node's role.
 type Kind uint8
