@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-json scale-json scale-smoke shard-determinism experiments metrics fuzz-smoke golden-check invariant-sweep cover ci
+.PHONY: all build vet test race bench-smoke bench bench-json scale-json scale-smoke wire-json wire-smoke shard-determinism experiments metrics fuzz-smoke golden-check invariant-sweep cover ci
 
 all: vet build test
 
@@ -60,6 +60,29 @@ scale-smoke:
 	$(GO) run ./cmd/netsim -nodes 100000 -shards 2 -packets 2000000 -seed 42
 	$(GO) run ./cmd/tussle-bench -scale-json /tmp/scale-smoke.json -iters 2
 	$(GO) run ./cmd/tussle-bench -compare -tolerance 0.5 BENCH_scale.json /tmp/scale-smoke.json
+
+# Regenerate the committed wire perf baseline: the live UDP engine's
+# decision kernel and loopback round trip, per-packet ns/op and
+# allocs/op in the same JSON schema -compare gates everything else with.
+wire-json:
+	$(GO) run ./cmd/tussle-bench -wire-json BENCH_wire.json -iters 3
+
+# Wire smoke (<2 min): the real tussled binary serving TIP over real
+# UDP — background server, blast client pacing against the echoes, then
+# SIGINT to exercise the shutdown/stats path; the grep fails the target
+# if the server's final counters never appear. A quick wire measurement
+# then gates perf against the committed baseline (tolerance rationale as
+# in bench-smoke).
+wire-smoke:
+	$(GO) build -o /tmp/tussled-smoke ./cmd/tussled
+	/tmp/tussled-smoke -listen 127.0.0.1:19099 -echo >/tmp/wire-smoke.log 2>&1 & \
+	  pid=$$!; sleep 1; \
+	  /tmp/tussled-smoke -blast 127.0.0.1:19099 -count 50000 -echo || { kill $$pid; exit 1; }; \
+	  kill -INT $$pid; wait $$pid
+	grep -q 'received=' /tmp/wire-smoke.log
+	grep -q 'delivered=' /tmp/wire-smoke.log
+	$(GO) run ./cmd/tussle-bench -wire-json /tmp/wire-smoke.json -iters 2
+	$(GO) run ./cmd/tussle-bench -compare -tolerance 0.5 BENCH_wire.json /tmp/wire-smoke.json
 
 # Shard-count determinism: the scale digest on stdout AND the merged
 # -metrics snapshot must be byte-identical at shards 1/2/4/8, sequential
@@ -120,4 +143,4 @@ cover:
 golden-check: experiments
 	git diff --exit-code EXPERIMENTS.md
 
-ci: vet build test race bench-smoke fuzz-smoke golden-check invariant-sweep shard-determinism scale-smoke
+ci: vet build test race bench-smoke fuzz-smoke golden-check invariant-sweep shard-determinism scale-smoke wire-smoke

@@ -212,6 +212,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines for the suite (0 = GOMAXPROCS, 1 = sequential)")
 	jsonPath := flag.String("json", "", "also micro-benchmark every experiment and write JSON to this file (e.g. BENCH_suite.json)")
 	scaleJSONPath := flag.String("scale-json", "", "measure the sharded-core scale sweep (1k/10k/100k nodes) and write JSON to this file (e.g. BENCH_scale.json)")
+	wireJSONPath := flag.String("wire-json", "", "measure the live UDP wire engine (decision kernel + loopback round trip) and write JSON to this file (e.g. BENCH_wire.json)")
 	iters := flag.Int("iters", 3, "iterations per experiment for -json measurements")
 	compare := flag.Bool("compare", false, "compare two bench JSON files (old new); exit non-zero on ns/op or allocs/op regression")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op growth per experiment for -compare")
@@ -224,6 +225,19 @@ func main() {
 			os.Exit(2)
 		}
 		os.Exit(runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *tolerance))
+	}
+
+	if *wireJSONPath != "" {
+		if *iters < 1 {
+			*iters = 1
+		}
+		sb := benchWire(*iters)
+		writeBenchJSON(*wireJSONPath, sb)
+		for _, e := range sb.Experiments {
+			fmt.Fprintf(os.Stderr, "tussle-bench: %-14s %8d ns/op %8d allocs/op\n", e.ID, e.NsPerOp, e.AllocsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "tussle-bench: wrote %s\n", *wireJSONPath)
+		return
 	}
 
 	if *scaleJSONPath != "" {

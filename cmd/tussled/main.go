@@ -11,6 +11,17 @@
 // profiling flags wrap the scenario run in the standard runtime/pprof
 // and runtime/trace collectors so hot spots in the engine can be read
 // with `go tool pprof` / `go tool trace`.
+//
+// Wire mode (see wire.go) turns tussled into a live UDP element:
+//
+//	tussled -listen ADDR [-node ID] [-workers N] [-batch N] [-echo]
+//	        [-peer ID=HOST:PORT ...] [-srcroute] [-srcroute-paid]
+//	        [-filter-stats] [-cpuprofile FILE] [-memprofile FILE]
+//	tussled -blast ADDR [-count N] [-dst P.H] [-src P.H] [-payload S]
+//	        [-batch N] [-conns N] [-echo]
+//
+// In wire mode the profiling flags cover the serve loop: SIGINT shuts
+// the engine down, flushes profiles, and prints the final counters.
 package main
 
 import (
@@ -27,6 +38,9 @@ import (
 )
 
 func main() {
+	if code, ok := wireMode(); ok {
+		os.Exit(code)
+	}
 	scenario := flag.String("scenario", "value-pricing", "scenario name (see -list)")
 	rounds := flag.Int("rounds", 12, "tussle rounds to run")
 	list := flag.Bool("list", false, "list available scenarios")

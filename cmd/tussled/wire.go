@@ -1,0 +1,248 @@
+package main
+
+// Wire mode: tussled as a live UDP element. -listen turns the process
+// into a TIP forwarding/delivery node driven by internal/wire's batched
+// engine; -blast turns it into the matching load generator. The
+// scenario mode in main.go is untouched — wire mode is dispatched
+// before it.
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// peerFlag accumulates repeated -peer id=addr mappings.
+type peerFlag map[topology.NodeID]netip.AddrPort
+
+func (p peerFlag) String() string {
+	var parts []string
+	for id, a := range p {
+		parts = append(parts, fmt.Sprintf("%d=%s", id, a))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p peerFlag) Set(v string) error {
+	id, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want id=host:port, got %q", v)
+	}
+	n, err := strconv.ParseUint(id, 10, 16)
+	if err != nil {
+		return fmt.Errorf("peer id %q: %w", id, err)
+	}
+	ap, err := netip.ParseAddrPort(addr)
+	if err != nil {
+		return fmt.Errorf("peer addr %q: %w", addr, err)
+	}
+	p[topology.NodeID(n)] = ap
+	return nil
+}
+
+// parseTIPAddr reads "provider.host" (e.g. "4.1") into a packet.Addr.
+func parseTIPAddr(s string) (packet.Addr, error) {
+	ps, hs, ok := strings.Cut(s, ".")
+	if !ok {
+		return 0, fmt.Errorf("want provider.host, got %q", s)
+	}
+	p, err := strconv.ParseUint(ps, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("provider %q: %w", ps, err)
+	}
+	h, err := strconv.ParseUint(hs, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("host %q: %w", hs, err)
+	}
+	return packet.MakeAddr(uint16(p), uint16(h)), nil
+}
+
+// runServe is tussled -listen: serve TIP over UDP until SIGINT, then
+// flush profiles and print the final counters.
+func runServe(args []string) int {
+	fs := flag.NewFlagSet("tussled -listen", flag.ExitOnError)
+	listen := fs.String("listen", "", "UDP address to serve TIP on")
+	node := fs.Uint("node", 1, "this element's node ID (TIP provider number)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "receive workers (one socket each where SO_REUSEPORT is available)")
+	batch := fs.Int("batch", 64, "recvmmsg/sendmmsg batch size")
+	echo := fs.Bool("echo", false, "echo delivered datagrams back to the sender")
+	srcroute := fs.Bool("srcroute", false, "honor source-route options")
+	srcroutePaid := fs.Bool("srcroute-paid", false, "honor source routes only when the packet carries a payment option")
+	filterStats := fs.Bool("filter-stats", false, "print counters (with the sanity-filter verdict histogram) every second")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the serve loop to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile (at shutdown) to this file")
+	peers := peerFlag{}
+	fs.Var(peers, "peer", "next-hop mapping id=host:port (repeatable)")
+	fs.Parse(args)
+
+	id := topology.NodeID(*node)
+	peerIDs := make([]topology.NodeID, 0, len(peers))
+	for pid := range peers {
+		peerIDs = append(peerIDs, pid)
+	}
+	// Provider-is-node routing: a destination in provider P goes to the
+	// peer serving node P. No peer, no route.
+	route := func(dst packet.Addr, tip *packet.TIP) (topology.NodeID, bool) {
+		next := topology.NodeID(dst.Provider())
+		_, ok := peers[next]
+		return next, ok
+	}
+	eng, err := wire.New(wire.Config{
+		Listen:  *listen,
+		Workers: *workers,
+		Batch:   *batch,
+		Echo:    *echo,
+		Peers:   peers,
+		NewDataplane: func() *wire.Dataplane {
+			return wire.NewDataplane(wire.NodeConfig{
+				ID:                           id,
+				Route:                        route,
+				HonorSourceRoutes:            *srcroute || *srcroutePaid,
+				RequirePaymentForSourceRoute: *srcroutePaid,
+				Peers:                        peerIDs,
+			})
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tussled: %v\n", err)
+		return 1
+	}
+
+	var cpuf *os.File
+	if *cpuprofile != "" {
+		if cpuf, err = os.Create(*cpuprofile); err != nil {
+			fmt.Fprintf(os.Stderr, "tussled: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(cpuf); err != nil {
+			fmt.Fprintf(os.Stderr, "tussled: cpuprofile: %v\n", err)
+			return 1
+		}
+	}
+
+	fmt.Printf("tussled: node %d serving TIP on %s (%d workers, batch %d)\n", id, eng.Addr(), *workers, *batch)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		eng.Run()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if *filterStats {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+	loop:
+		for {
+			select {
+			case <-tick.C:
+				fmt.Println(eng.Stats().String())
+			case <-sig:
+				break loop
+			}
+		}
+	} else {
+		<-sig
+	}
+
+	eng.Close()
+	<-done
+	if cpuf != nil {
+		pprof.StopCPUProfile()
+		cpuf.Close()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tussled: memprofile: %v\n", err)
+			return 1
+		}
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "tussled: memprofile: %v\n", err)
+			return 1
+		}
+		f.Close()
+	}
+	fmt.Println(eng.Stats().String())
+	return 0
+}
+
+// runBlast is tussled -blast: the load-generator side.
+func runBlast(args []string) int {
+	fs := flag.NewFlagSet("tussled -blast", flag.ExitOnError)
+	target := fs.String("blast", "", "target UDP address to blast TIP datagrams at")
+	count := fs.Int("count", 100000, "datagrams to send")
+	dst := fs.String("dst", "1.1", "TIP destination address as provider.host (default delivers at a default -listen node)")
+	src := fs.String("src", "1.1", "TIP source address as provider.host")
+	payload := fs.String("payload", "tussled-blast", "datagram payload")
+	batch := fs.Int("batch", 64, "sendmmsg batch size")
+	conns := fs.Int("conns", 1, "parallel client sockets (distinct source ports)")
+	echo := fs.Bool("echo", false, "expect echoes back and pace against them")
+	fs.Parse(args)
+
+	ap, err := netip.ParseAddrPort(*target)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tussled: blast target: %v\n", err)
+		return 64
+	}
+	d, err := parseTIPAddr(*dst)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tussled: -dst: %v\n", err)
+		return 64
+	}
+	s, err := parseTIPAddr(*src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tussled: -src: %v\n", err)
+		return 64
+	}
+	data, err := packet.Serialize(
+		&packet.TIP{TTL: 16, Proto: packet.LayerTypeRaw, Src: s, Dst: d},
+		&packet.Raw{Data: []byte(*payload)})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tussled: %v\n", err)
+		return 1
+	}
+	res, err := wire.Blast(wire.BlastConfig{
+		Target:  ap,
+		Count:   *count,
+		Packets: [][]byte{data},
+		Batch:   *batch,
+		Conns:   *conns,
+		Echo:    *echo,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tussled: blast: %v\n", err)
+		return 1
+	}
+	fmt.Printf("blast: sent=%d send-errors=%d received=%d lost=%d elapsed=%s pps=%.0f\n",
+		res.Sent, res.SendErrors, res.Received, res.Lost, res.Elapsed.Round(time.Millisecond), res.PPS())
+	return 0
+}
+
+// wireMode dispatches -listen / -blast before the scenario flag set
+// sees the arguments. It returns false when neither flag is present.
+func wireMode() (int, bool) {
+	for _, a := range os.Args[1:] {
+		name, _, _ := strings.Cut(strings.TrimLeft(a, "-"), "=")
+		switch name {
+		case "listen":
+			return runServe(os.Args[1:]), true
+		case "blast":
+			return runBlast(os.Args[1:]), true
+		}
+	}
+	return 0, false
+}

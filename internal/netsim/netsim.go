@@ -684,6 +684,51 @@ func (n *Network) Inject(src topology.NodeID, data []byte) {
 	}
 }
 
+// InjectArrival presents raw wire bytes to node id exactly as a transit
+// arrival: the node decodes them, runs its middlebox chain, and then
+// delivers, forwards, or drops — the same decision sequence a live UDP
+// engine makes for a datagram hitting that node's socket. This is the
+// differential-twin seam: internal/wire feeds identical bytes to its
+// dataplane and to InjectArrival and asserts the decision logs match.
+//
+// Unlike Send, the bytes are decoded before any processing (a wire
+// datagram arrives unparsed), so malformed input terminates with a
+// "malformed" drop at id — mirroring the wire engine's sanity filter and
+// decode rejections. The bytes are copied; the caller's slice may be
+// reused immediately. The returned Trace fills in as the scheduler runs.
+func (n *Network) InjectArrival(id topology.NodeID, data []byte) *Trace {
+	t := &Trace{SentAt: n.Sched.Now(), Events: make([]TraceEvent, 0, n.TraceEventCap)}
+	f := n.newFlight()
+	f.t = t
+	f.buf = append(f.buf[:0], data...)
+	f.data = f.buf
+	f.node = n.Node(id)
+	f.dir = Forwarding
+	f.hops = 0
+	if n.obs != nil {
+		n.obs.sends.Inc()
+	}
+	if n.tracer.Enabled() {
+		// Arrivals enter the network without an originating Send; emitting
+		// the "send" event here keeps packet conservation accountable (every
+		// termination stems from exactly one send, dup, or arrival).
+		n.tracer.Emit(obs.Event{Time: int64(n.Sched.Now()), Scope: "netsim", Kind: "send", Node: int64(id)})
+	}
+	run := func() {
+		if err := f.tip.DecodeReuse(f.data); err != nil {
+			f.net.dropFlight(f, f.node.ID, "malformed")
+			return
+		}
+		f.node.process(f)
+	}
+	if n.keyed {
+		n.Sched.AtKeyed(n.Sched.Now(), n.nextKey(id), run)
+	} else {
+		n.Sched.After(0, run)
+	}
+	return t
+}
+
 // AtNode schedules a user callback (typically a traffic generator's next
 // send) at time t, ordered by an event key allocated from node v. In
 // keyed (sharded) mode this is what makes generator callbacks interleave

@@ -1,0 +1,200 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// ABI pin for the TIP wire format, in the udpx TestABI style: a packet
+// with every option is encoded once and each field is asserted at its
+// literal byte offset. The wire engine's sanity filter (filter.go) and
+// the in-place patch helpers (patch.go) read raw offsets without going
+// through Decode, so any drift in Encode's layout must fail here first —
+// loudly, with the exact offset named — rather than silently desyncing
+// the filter from the decoder.
+//
+// If this test breaks, you changed the wire ABI. That invalidates every
+// captured byte stream, the fuzz corpus, and any deployed tussled peers;
+// bump the version nibble if you mean it.
+
+// abiTIP returns the pinned test packet and its encoding.
+func abiTIP(t *testing.T) ([]byte, *TIP) {
+	t.Helper()
+	tip := &TIP{
+		TOS:   0xA5,
+		TTL:   7,
+		Proto: LayerTypeRaw,
+		Src:   MakeAddr(0x0102, 0x0304),
+		Dst:   MakeAddr(0x0506, 0x0708),
+		SourceRoute: &SourceRouteOption{
+			Ptr:  1,
+			Hops: []Addr{0x11121314, 0x21222324},
+		},
+		Payment: &PaymentOption{
+			Payer:       0x31323334,
+			Payee:       0x41424344,
+			AmountMilli: 0x51525354,
+			Nonce:       0x61626364,
+			MAC:         0x7172737475767778,
+		},
+		Identity: &IdentityOption{Scheme: IdentityPseudonym, ID: []byte{0xAA, 0xBB}},
+	}
+	data, err := Serialize(tip, &Raw{Data: []byte("xyz")})
+	if err != nil {
+		t.Fatalf("serialize ABI packet: %v", err)
+	}
+	return data, tip
+}
+
+func TestABIHeaderOffsets(t *testing.T) {
+	data, _ := abiTIP(t)
+
+	if len(data) != 67 {
+		t.Fatalf("encoded length = %d, want 67 (64-byte header + 3-byte payload)", len(data))
+	}
+
+	// Fixed header: offset, size, and value of every field.
+	pin := []struct {
+		off  int
+		want []byte
+		name string
+	}{
+		{0, []byte{0x18}, "version nibble 1 | header length 64/8"},
+		{1, []byte{0xA5}, "TOS"},
+		{2, []byte{0x00, 0x43}, "total length (67, big-endian u16)"},
+		{4, []byte{0x07}, "TTL"},
+		{5, []byte{0x01}, "protocol (LayerTypeRaw)"},
+		// offsets 6..7 are the checksum, asserted separately below
+		{8, []byte{0x01, 0x02, 0x03, 0x04}, "source address"},
+		{12, []byte{0x05, 0x06, 0x07, 0x08}, "destination address"},
+
+		// Source route option: kind, length, pointer, hops.
+		{16, []byte{0x02}, "source route option kind"},
+		{17, []byte{0x0B}, "source route option length (3+4*2)"},
+		{18, []byte{0x01}, "source route pointer"},
+		{19, []byte{0x11, 0x12, 0x13, 0x14}, "source route hop 0"},
+		{23, []byte{0x21, 0x22, 0x23, 0x24}, "source route hop 1"},
+
+		// Payment option: kind, length, payer, payee, amount, nonce, MAC.
+		{27, []byte{0x03}, "payment option kind"},
+		{28, []byte{0x1A}, "payment option length (2+24)"},
+		{29, []byte{0x31, 0x32, 0x33, 0x34}, "payment payer"},
+		{33, []byte{0x41, 0x42, 0x43, 0x44}, "payment payee"},
+		{37, []byte{0x51, 0x52, 0x53, 0x54}, "payment amount (milli)"},
+		{41, []byte{0x61, 0x62, 0x63, 0x64}, "payment nonce"},
+		{45, []byte{0x71, 0x72, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78}, "payment MAC"},
+
+		// Identity option: kind, length, scheme, ID bytes.
+		{53, []byte{0x04}, "identity option kind"},
+		{54, []byte{0x05}, "identity option length (3+2)"},
+		{55, []byte{0x01}, "identity scheme (pseudonym)"},
+		{56, []byte{0xAA, 0xBB}, "identity ID"},
+
+		// Padding to the 8-byte header-word boundary: NOPs then End.
+		{58, []byte{0x01, 0x01, 0x01, 0x01, 0x01}, "NOP padding"},
+		{63, []byte{0x00}, "End option"},
+
+		// Payload begins immediately after the header.
+		{64, []byte("xyz"), "payload"},
+	}
+	for _, p := range pin {
+		if got := data[p.off : p.off+len(p.want)]; !bytes.Equal(got, p.want) {
+			t.Errorf("offset %d (%s) = % X, want % X", p.off, p.name, got, p.want)
+		}
+	}
+
+	// Checksum field: offsets 6..7, ones'-complement over the header with
+	// the field zeroed, and the whole header must verify to zero.
+	zeroed := append([]byte(nil), data[:64]...)
+	zeroed[6], zeroed[7] = 0, 0
+	want := Checksum(zeroed)
+	if got := getU16(data[6:]); got != want {
+		t.Errorf("checksum at offset 6 = %#04x, want %#04x", got, want)
+	}
+	if Checksum(data[:64]) != 0 {
+		t.Errorf("header does not verify: Checksum(header) = %#04x, want 0", Checksum(data[:64]))
+	}
+}
+
+// TestABIConstants pins the wire constants the raw-byte readers depend
+// on. These are compile-time facts, but asserting them here means a
+// change shows up as an ABI failure, not as a mysterious filter bug.
+func TestABIConstants(t *testing.T) {
+	pins := []struct {
+		got, want int
+		name      string
+	}{
+		{tipVersion, 1, "TIP version"},
+		{tipMinHeader, 16, "minimum header length"},
+		{tipMaxHeader, 120, "maximum header length (15 words)"},
+		{optEnd, 0, "End option kind"},
+		{optNop, 1, "NOP option kind"},
+		{optSourceRoute, 2, "source route option kind"},
+		{optPayment, 3, "payment option kind"},
+		{optIdentity, 4, "identity option kind"},
+		{int(IdentityAnonymous), 0, "anonymous identity scheme"},
+		{int(IdentityPseudonym), 1, "pseudonym identity scheme"},
+		{int(IdentityCertified), 2, "certified identity scheme"},
+	}
+	for _, p := range pins {
+		if p.got != p.want {
+			t.Errorf("%s = %d, want %d", p.name, p.got, p.want)
+		}
+	}
+}
+
+// TestABIFilterOffsets pins the sanity filter to the encoded layout by
+// corrupting exactly the bytes the filter reads and asserting the
+// verdict changes as documented — proving the filter and Encode agree on
+// where the version, header-length, and total-length fields live.
+func TestABIFilterOffsets(t *testing.T) {
+	data, _ := abiTIP(t)
+	if v := Filter(data); v != FilterAccept {
+		t.Fatalf("filter rejects the ABI packet: %v", v)
+	}
+
+	mut := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), data...)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want FilterVerdict
+	}{
+		{"short datagram", data[:tipMinHeader-1], FilterTruncated},
+		{"empty datagram", nil, FilterTruncated},
+		{"version nibble at offset 0", mut(func(b []byte) { b[0] = 0x28 }), FilterBadVersion},
+		{"header length below minimum", mut(func(b []byte) { b[0] = 0x11 }), FilterBadHeaderLen},
+		{"header length past datagram", mut(func(b []byte) { b[0] = 0x1F }), FilterBadHeaderLen},
+		{"total length past datagram at offsets 2-3", mut(func(b []byte) { b[2], b[3] = 0xFF, 0xFF }), FilterBadTotalLen},
+		{"total length below header length", mut(func(b []byte) { b[2], b[3] = 0x00, 0x10 }), FilterBadTotalLen},
+	}
+	for _, c := range cases {
+		if v := Filter(c.in); v != c.want {
+			t.Errorf("%s: filter verdict %v, want %v", c.name, v, c.want)
+		}
+		// Completeness: whatever the filter rejects, the decoder must
+		// reject too (the filter is never stricter than Decode).
+		var tip TIP
+		if err := tip.DecodeFrom(c.in); err == nil {
+			t.Errorf("%s: filter rejects (%v) but DecodeFrom accepts", c.name, c.want)
+		}
+	}
+
+	// Trailing garbage beyond the declared total length is fine for the
+	// filter AND the decoder (the payload view simply ends at total) —
+	// an oversized datagram is not malformed, just padded.
+	padded := append(append([]byte(nil), data...), 0xDE, 0xAD, 0xBE, 0xEF)
+	if v := Filter(padded); v != FilterAccept {
+		t.Errorf("filter rejects oversized datagram: %v", v)
+	}
+	var tip TIP
+	if err := tip.DecodeFrom(padded); err != nil {
+		t.Errorf("decode rejects oversized datagram: %v", err)
+	}
+	if got := len(tip.LayerContents()) + len(tip.LayerPayload()); got != 67 {
+		t.Errorf("decoded views cover %d bytes, want 67 (trailing garbage excluded)", got)
+	}
+}

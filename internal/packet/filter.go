@@ -1,0 +1,81 @@
+package packet
+
+// This file is the wire-facing sanity filter: the cheap structural check
+// a UDP server runs on raw bytes *before* committing to a full Decode
+// (the udpx BasicPacketFilter discipline). It reads exactly four header
+// fields at fixed offsets — the version/header-length byte at offset 0
+// and the total-length word at offsets 2–3 — so a flood of garbage
+// datagrams is rejected in a handful of instructions without touching
+// options or computing a checksum.
+//
+// Contract, pinned by abi_test.go and FuzzDecode:
+//
+//   - Soundness: Filter never rejects bytes that DecodeFrom would accept
+//     (every check below is implied by a decode-side check).
+//   - Completeness of the structural stage: if Filter rejects, DecodeFrom
+//     also rejects (the filter is exactly decode's pre-checksum bounds
+//     logic, never stricter).
+//
+// Because the filter reads raw offsets rather than going through Decode,
+// any drift between Encode's byte layout and these offsets would break
+// the contract silently — which is why the ABI tests assert the encoded
+// position of every field the filter touches.
+
+// FilterVerdict classifies a datagram's fate at the wire sanity filter.
+type FilterVerdict uint8
+
+// Filter verdicts. FilterAccept means "structurally plausible: worth a
+// full decode", not "valid" — the checksum and option grammar are only
+// checked by DecodeFrom.
+const (
+	FilterAccept       FilterVerdict = iota
+	FilterTruncated                  // shorter than the 16-byte fixed header
+	FilterBadVersion                 // version nibble is not the TIP version
+	FilterBadHeaderLen               // header length field out of [16, len(data)]
+	FilterBadTotalLen                // total length field out of [hlen, len(data)]
+
+	// filterVerdicts is the number of distinct verdicts (for stats arrays).
+	filterVerdicts
+)
+
+// FilterVerdicts is the number of distinct FilterVerdict values; stats
+// tables index by verdict.
+const FilterVerdicts = int(filterVerdicts)
+
+func (v FilterVerdict) String() string {
+	switch v {
+	case FilterAccept:
+		return "accept"
+	case FilterTruncated:
+		return "truncated"
+	case FilterBadVersion:
+		return "bad-version"
+	case FilterBadHeaderLen:
+		return "bad-header-len"
+	case FilterBadTotalLen:
+		return "bad-total-len"
+	default:
+		return "unknown"
+	}
+}
+
+// Filter performs the cheap raw-byte sanity check on a received
+// datagram. It never allocates and never reads past len(data).
+func Filter(data []byte) FilterVerdict {
+	if len(data) < tipMinHeader {
+		return FilterTruncated
+	}
+	b0 := data[0]
+	if b0>>4 != tipVersion {
+		return FilterBadVersion
+	}
+	hlen := int(b0&0x0f) * 8
+	if hlen < tipMinHeader || hlen > len(data) {
+		return FilterBadHeaderLen
+	}
+	total := int(data[2])<<8 | int(data[3])
+	if total < hlen || total > len(data) {
+		return FilterBadTotalLen
+	}
+	return FilterAccept
+}

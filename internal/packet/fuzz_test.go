@@ -59,21 +59,50 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 	corrupt := append([]byte(nil), plain...)
 	corrupt[0] ^= 0xf0 // version nibble
 	seeds = append(seeds, corrupt)
+
+	// Datagram-boundary cases the wire engine actually sees: a packet
+	// truncated mid-option, one truncated mid-payload, and an oversized
+	// datagram (valid packet followed by receive-slot slack).
+	seeds = append(seeds, srcRouted[:tipMinHeader+3], srcRouted[:len(srcRouted)-2])
+	oversized := append(append([]byte(nil), plain...), 0x5A, 0x5A, 0x5A, 0x5A, 0x5A, 0x5A, 0x5A, 0x5A)
+	seeds = append(seeds, oversized)
+	// Header-length nibble inflated past the datagram, and a total-length
+	// field shorter than the header — the two bounds the sanity filter
+	// checks on raw bytes.
+	badHlen := append([]byte(nil), plain...)
+	badHlen[0] = tipVersion<<4 | 0x0f
+	seeds = append(seeds, badHlen)
+	badTotal := append([]byte(nil), plain...)
+	badTotal[2], badTotal[3] = 0x00, 0x08
+	seeds = append(seeds, badTotal)
 	return seeds
 }
 
 // FuzzDecode asserts the decoder's safety invariants on arbitrary bytes:
 // no panics, and on success the decoded views (contents, payload, option
 // slices) stay inside the input buffer and describe a packet that
-// re-serializes into a decodable header with identical fields.
+// re-serializes into a decodable header with identical fields. It also
+// drives the wire sanity filter (filter.go) on every input, pinning the
+// soundness half of the filter contract: Filter never rejects bytes the
+// decoder accepts. (The contrapositive — a filter reject implies a
+// decode reject — is the same property, so one check covers both.)
 func FuzzDecode(f *testing.F) {
 	for _, s := range fuzzSeeds(f) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The wire sanity filter must stay consistent with the decoder on
+		// every input: a filter reject implies a decode reject
+		// (completeness), and a successful decode implies the filter
+		// accepted (soundness) — otherwise the UDP fast path would drop
+		// packets the sim delivers, or vice versa.
+		verdict := Filter(data)
 		var tip TIP
 		if err := tip.DecodeFrom(data); err != nil {
 			return
+		}
+		if verdict != FilterAccept {
+			t.Fatalf("filter rejects (%v) bytes that DecodeFrom accepts", verdict)
 		}
 		// Views must be slices of the input, in order, within bounds.
 		if len(tip.LayerContents()) < tipMinHeader {

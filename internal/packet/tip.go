@@ -29,6 +29,24 @@ var (
 	ErrChecksum   = errors.New("packet: TIP checksum mismatch")
 )
 
+// Static pre-wrapped errors for the decode path. The decoder faces
+// hostile wire input on the UDP fast path, where constructing an error
+// with fmt.Errorf would hand an attacker two heap allocations per
+// malformed datagram; these are built once and satisfy errors.Is against
+// the sentinels above. Sites that need the offending value (serialize
+// paths, which only ever see the caller's own packet) keep fmt.Errorf.
+var (
+	errVersionNibble  = fmt.Errorf("%w: version nibble mismatch", ErrBadVersion)
+	errHeaderLenRange = fmt.Errorf("%w: header length out of range", ErrBadHeader)
+	errTotalLenRange  = fmt.Errorf("%w: total length out of range", ErrBadHeader)
+	errOptTruncated   = fmt.Errorf("%w: truncated option", ErrBadHeader)
+	errOptLength      = fmt.Errorf("%w: option length out of range", ErrBadHeader)
+	errOptSourceRoute = fmt.Errorf("%w: source route option", ErrBadHeader)
+	errOptSrcRoutePtr = fmt.Errorf("%w: source route pointer past hops", ErrBadHeader)
+	errOptPaymentLen  = fmt.Errorf("%w: payment option length", ErrBadHeader)
+	errOptIdentityLen = fmt.Errorf("%w: identity option length", ErrBadHeader)
+)
+
 // SourceRouteOption is a loose provider-level source route: the list of
 // waypoint addresses the sender wants the packet to traverse, and a
 // pointer to the next unvisited waypoint. This is the "user control of
@@ -128,6 +146,16 @@ func (t *TIP) DecodeFrom(data []byte) error {
 // re-decodes on a forwarding fast path are allocation-free. Callers must
 // not retain pointers to t's options across calls: the structs are
 // overwritten in place by the next DecodeReuse.
+//
+// Aliasing contract for pooled buffers: the option structs never alias
+// data — hops and identity bytes are copied out — but LayerContents and
+// LayerPayload are views into data, so once a pooled receive buffer is
+// released and refilled, those views silently describe the next
+// datagram. A wire worker must finish with (or copy) the views before
+// recycling the buffer. On a decode error the exported fields are
+// unspecified, but the recycled option structs are retained for the
+// next decode, so a flood of malformed datagrams cannot force
+// steady-state allocations.
 func (t *TIP) DecodeReuse(data []byte) error {
 	return t.decode(data, true)
 }
@@ -137,15 +165,15 @@ func (t *TIP) decode(data []byte, reuse bool) error {
 		return ErrTruncated
 	}
 	if v := data[0] >> 4; v != tipVersion {
-		return fmt.Errorf("%w: %d", ErrBadVersion, v)
+		return errVersionNibble
 	}
 	hlen := int(data[0]&0x0f) * 8
 	if hlen < tipMinHeader || hlen > len(data) {
-		return fmt.Errorf("%w: header length %d", ErrBadHeader, hlen)
+		return errHeaderLenRange
 	}
 	total := int(getU16(data[2:]))
 	if total < hlen || total > len(data) {
-		return fmt.Errorf("%w: total length %d", ErrBadHeader, total)
+		return errTotalLenRange
 	}
 	if Checksum(data[:hlen]) != 0 {
 		return ErrChecksum
@@ -164,6 +192,24 @@ func (t *TIP) decode(data []byte, reuse bool) error {
 	t.Payment = nil
 	t.Identity = nil
 	if err := t.decodeOptions(data[tipMinHeader:hlen], spare); err != nil {
+		// A hostile packet must not bleed the option pool: any spare
+		// struct the failed parse did not rebind returns to the scratch
+		// TIP, so the next DecodeReuse stays allocation-free. (Without
+		// this, alternating malformed and option-bearing packets on a
+		// wire feed would force a fresh allocation per good packet.)
+		// After an error the exported fields are unspecified; callers
+		// must treat the TIP as scratch until the next successful decode.
+		if reuse {
+			if t.SourceRoute == nil {
+				t.SourceRoute = spare.sr
+			}
+			if t.Payment == nil {
+				t.Payment = spare.pay
+			}
+			if t.Identity == nil {
+				t.Identity = spare.id
+			}
+		}
 		return err
 	}
 	t.contents = data[:hlen]
@@ -190,17 +236,17 @@ func (t *TIP) decodeOptions(opts []byte, spare tipOptions) error {
 			continue
 		}
 		if len(opts) < 2 {
-			return fmt.Errorf("%w: truncated option", ErrBadHeader)
+			return errOptTruncated
 		}
 		olen := int(opts[1])
 		if olen < 2 || olen > len(opts) {
-			return fmt.Errorf("%w: option length %d", ErrBadHeader, olen)
+			return errOptLength
 		}
 		body := opts[2:olen]
 		switch kind {
 		case optSourceRoute:
 			if len(body) < 1 || (len(body)-1)%4 != 0 {
-				return fmt.Errorf("%w: source route option", ErrBadHeader)
+				return errOptSourceRoute
 			}
 			sr := spare.sr
 			if sr == nil {
@@ -212,12 +258,12 @@ func (t *TIP) decodeOptions(opts []byte, spare tipOptions) error {
 				sr.Hops = append(sr.Hops, getAddr(body[i:]))
 			}
 			if int(sr.Ptr) > len(sr.Hops) {
-				return fmt.Errorf("%w: source route pointer %d past %d hops", ErrBadHeader, sr.Ptr, len(sr.Hops))
+				return errOptSrcRoutePtr
 			}
 			t.SourceRoute = sr
 		case optPayment:
 			if len(body) != 24 {
-				return fmt.Errorf("%w: payment option length %d", ErrBadHeader, len(body))
+				return errOptPaymentLen
 			}
 			pay := spare.pay
 			if pay == nil {
@@ -233,7 +279,7 @@ func (t *TIP) decodeOptions(opts []byte, spare tipOptions) error {
 			t.Payment = pay
 		case optIdentity:
 			if len(body) < 1 || len(body) > 17 {
-				return fmt.Errorf("%w: identity option length %d", ErrBadHeader, len(body))
+				return errOptIdentityLen
 			}
 			opt := spare.id
 			if opt == nil {

@@ -1,0 +1,69 @@
+package wire
+
+// Arena is a fixed-size pooled buffer arena: one contiguous slab cut
+// into equal slots, with a LIFO free list of slot indices. Workers draw
+// their receive and transmit buffers from a private Arena so the
+// steady-state packet path never allocates — the wire-side mirror of
+// the netsim flight pool. An Arena is not goroutine-safe; each worker
+// owns its own.
+type Arena struct {
+	slab []byte
+	slot int
+	free []int32
+	held []bool // per-slot checked-out flag (double-put guard)
+}
+
+// NewArena builds an arena of slots buffers, each slotSize bytes, backed
+// by a single allocation.
+func NewArena(slots, slotSize int) *Arena {
+	a := &Arena{
+		slab: make([]byte, slots*slotSize),
+		slot: slotSize,
+		free: make([]int32, slots),
+		held: make([]bool, slots),
+	}
+	// LIFO with slot 0 on top keeps allocation order deterministic.
+	for i := range a.free {
+		a.free[i] = int32(slots - 1 - i)
+	}
+	return a
+}
+
+// SlotSize returns the byte capacity of each slot.
+func (a *Arena) SlotSize() int { return a.slot }
+
+// Slots returns the total number of slots.
+func (a *Arena) Slots() int { return len(a.held) }
+
+// InUse returns the number of slots currently checked out.
+func (a *Arena) InUse() int { return len(a.held) - len(a.free) }
+
+// Get checks out a slot, returning its index and the full-size buffer.
+// It returns (-1, nil) when the arena is exhausted — the caller must
+// shed load, never allocate a replacement.
+func (a *Arena) Get() (int32, []byte) {
+	k := len(a.free)
+	if k == 0 {
+		return -1, nil
+	}
+	idx := a.free[k-1]
+	a.free = a.free[:k-1]
+	a.held[idx] = true
+	return idx, a.Data(idx)
+}
+
+// Data returns slot idx's full buffer (length SlotSize).
+func (a *Arena) Data(idx int32) []byte {
+	off := int(idx) * a.slot
+	return a.slab[off : off+a.slot : off+a.slot]
+}
+
+// Put returns a slot to the free list. Putting a slot that is not
+// checked out panics — it would hand one buffer to two packets.
+func (a *Arena) Put(idx int32) {
+	if idx < 0 || int(idx) >= len(a.held) || !a.held[idx] {
+		panic("wire: Put of free or out-of-range arena slot")
+	}
+	a.held[idx] = false
+	a.free = append(a.free, idx)
+}

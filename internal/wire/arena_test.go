@@ -1,0 +1,80 @@
+package wire
+
+import "testing"
+
+func TestArenaCheckout(t *testing.T) {
+	a := NewArena(4, 128)
+	if a.Slots() != 4 || a.SlotSize() != 128 {
+		t.Fatalf("arena geometry = %d×%d, want 4×128", a.Slots(), a.SlotSize())
+	}
+	seen := map[int32]bool{}
+	var bufs [][]byte
+	for i := 0; i < 4; i++ {
+		idx, b := a.Get()
+		if idx < 0 || len(b) != 128 {
+			t.Fatalf("Get %d = (%d, len %d)", i, idx, len(b))
+		}
+		if seen[idx] {
+			t.Fatalf("slot %d handed out twice", idx)
+		}
+		seen[idx] = true
+		bufs = append(bufs, b)
+	}
+	if idx, b := a.Get(); idx != -1 || b != nil {
+		t.Fatalf("exhausted arena returned slot %d", idx)
+	}
+	if a.InUse() != 4 {
+		t.Fatalf("InUse = %d, want 4", a.InUse())
+	}
+	// Slots must not overlap: writing one buffer end to end leaves the
+	// others untouched.
+	for i := range bufs[1] {
+		bufs[1][i] = 0xAB
+	}
+	for _, other := range [][]byte{bufs[0], bufs[2], bufs[3]} {
+		for _, c := range other {
+			if c == 0xAB {
+				t.Fatal("arena slots overlap")
+			}
+		}
+	}
+}
+
+func TestArenaPutReuses(t *testing.T) {
+	a := NewArena(2, 64)
+	i0, _ := a.Get()
+	i1, _ := a.Get()
+	a.Put(i0)
+	if got, _ := a.Get(); got != i0 {
+		t.Fatalf("Get after Put = slot %d, want recycled %d", got, i0)
+	}
+	a.Put(i1)
+	if a.InUse() != 1 {
+		t.Fatalf("InUse = %d, want 1", a.InUse())
+	}
+}
+
+func TestArenaDoublePutPanics(t *testing.T) {
+	a := NewArena(2, 64)
+	idx, _ := a.Get()
+	a.Put(idx)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic")
+		}
+	}()
+	a.Put(idx)
+}
+
+func TestArenaSteadyStateZeroAlloc(t *testing.T) {
+	a := NewArena(8, 256)
+	allocs := testing.AllocsPerRun(500, func() {
+		i0, _ := a.Get()
+		i1, _ := a.Get()
+		a.Put(i1)
+		a.Put(i0)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Get/Put costs %.1f allocs, want 0", allocs)
+	}
+}

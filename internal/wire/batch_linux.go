@@ -1,0 +1,243 @@
+//go:build linux && (amd64 || arm64)
+
+package wire
+
+import (
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+)
+
+// Batched UDP I/O for 64-bit Linux: recvmmsg/sendmmsg move a whole
+// batch of datagrams per syscall, invoked through the runtime
+// netpoller (RawConn Read/Write with MSG_DONTWAIT) so workers still
+// park cheaply when idle and deadlines/Close behave normally. Every
+// header, iovec, and sockaddr buffer is preallocated; the per-batch
+// path allocates nothing.
+//
+// sendmmsg has no syscall.SYS_ constant in the stdlib; its per-arch
+// number lives in batch_linux_{amd64,arm64}.go. recvmmsg uses
+// syscall.SYS_RECVMMSG, which exists on both.
+
+// batchIO reports that this platform runs the batched syscall path
+// (and can bind one SO_REUSEPORT socket per worker).
+const batchIO = true
+
+// sockaddrBuf is sizeof(struct sockaddr_in6), the largest address the
+// engine handles.
+const sockaddrBuf = 28
+
+// mmsghdr mirrors struct mmsghdr on 64-bit Linux: the msghdr plus the
+// kernel-written datagram length, padded to 8 bytes.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   uint32
+}
+
+// rxBatch is the receive side: headers and sockaddr buffers wired to
+// the caller's slot buffers once at construction.
+type rxBatch struct {
+	rc   syscall.RawConn
+	msgs []mmsghdr
+	iov  []syscall.Iovec
+	name [][sockaddrBuf]byte
+
+	readFn func(fd uintptr) bool // prebuilt: closures must not allocate per batch
+	got    int
+}
+
+func newRxBatch(conn *net.UDPConn, bufs [][]byte) (*rxBatch, error) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	b := len(bufs)
+	r := &rxBatch{
+		rc:   rc,
+		msgs: make([]mmsghdr, b),
+		iov:  make([]syscall.Iovec, b),
+		name: make([][sockaddrBuf]byte, b),
+	}
+	for i := range r.msgs {
+		r.iov[i].Base = &bufs[i][0]
+		r.iov[i].Len = uint64(len(bufs[i]))
+		r.msgs[i].hdr.Iov = &r.iov[i]
+		r.msgs[i].hdr.Iovlen = 1
+		r.msgs[i].hdr.Name = &r.name[i][0]
+		r.msgs[i].hdr.Namelen = sockaddrBuf
+	}
+	r.readFn = func(fd uintptr) bool {
+		// The kernel overwrites Namelen per datagram; restore before
+		// each receive so reused headers keep their full buffer.
+		for i := range r.msgs {
+			r.msgs[i].hdr.Namelen = sockaddrBuf
+		}
+		for {
+			n, _, errno := syscall.Syscall6(syscall.SYS_RECVMMSG, fd,
+				uintptr(unsafe.Pointer(&r.msgs[0])), uintptr(len(r.msgs)),
+				syscall.MSG_DONTWAIT, 0, 0)
+			switch errno {
+			case 0:
+				r.got = int(n)
+				return true
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false // park in the netpoller until readable
+			default:
+				r.got = -1
+				return true
+			}
+		}
+	}
+	return r, nil
+}
+
+// recv fills the slot buffers with up to len(bufs) datagrams and
+// returns how many arrived. It blocks (in the netpoller) when the
+// socket is idle and returns an error once the socket is closed.
+func (r *rxBatch) recv() (int, error) {
+	if err := r.rc.Read(r.readFn); err != nil {
+		return 0, err
+	}
+	if r.got < 0 {
+		return 0, syscall.EIO
+	}
+	return r.got, nil
+}
+
+// length returns datagram i's byte count.
+func (r *rxBatch) length(i int) int { return int(r.msgs[i].n) }
+
+// from returns datagram i's sender address.
+func (r *rxBatch) from(i int) netip.AddrPort {
+	b := &r.name[i]
+	fam := uint16(b[0]) | uint16(b[1])<<8
+	port := uint16(b[2])<<8 | uint16(b[3])
+	if fam == syscall.AF_INET {
+		return netip.AddrPortFrom(netip.AddrFrom4([4]byte{b[4], b[5], b[6], b[7]}), port)
+	}
+	var ip [16]byte
+	copy(ip[:], b[8:24])
+	// Keep 4-in-6 mapped addresses mapped: replies go back out the same
+	// (v6) socket, which wants an AF_INET6 sockaddr.
+	return netip.AddrPortFrom(netip.AddrFrom16(ip), port)
+}
+
+// txBatch is the send side: reusable headers filled from a []txEntry
+// per send call.
+type txBatch struct {
+	rc   syscall.RawConn
+	msgs []mmsghdr
+	iov  []syscall.Iovec
+	name [][sockaddrBuf]byte
+
+	writeFn func(fd uintptr) bool
+	queued  int
+	done    int
+	failed  bool
+}
+
+func newTxBatch(conn *net.UDPConn, capacity int) (*txBatch, error) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	t := &txBatch{
+		rc:   rc,
+		msgs: make([]mmsghdr, capacity),
+		iov:  make([]syscall.Iovec, capacity),
+		name: make([][sockaddrBuf]byte, capacity),
+	}
+	for i := range t.msgs {
+		t.msgs[i].hdr.Iov = &t.iov[i]
+		t.msgs[i].hdr.Iovlen = 1
+		t.msgs[i].hdr.Name = &t.name[i][0]
+	}
+	t.writeFn = func(fd uintptr) bool {
+		for t.done < t.queued {
+			n, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&t.msgs[t.done])), uintptr(t.queued-t.done),
+				syscall.MSG_DONTWAIT, 0, 0)
+			switch errno {
+			case 0:
+				t.done += int(n)
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false // park until writable
+			default:
+				t.failed = true
+				return true
+			}
+		}
+		return true
+	}
+	return t, nil
+}
+
+// send transmits the entries (at most the batch capacity) and returns
+// how many went out plus how many failed.
+func (t *txBatch) send(entries []txEntry) (sent, errs int) {
+	if len(entries) > len(t.msgs) {
+		entries = entries[:len(t.msgs)]
+	}
+	for i := range entries {
+		e := &entries[i]
+		t.iov[i].Base = &e.data[0]
+		t.iov[i].Len = uint64(len(e.data))
+		t.msgs[i].hdr.Namelen = writeSockaddr(&t.name[i], e.addr)
+	}
+	t.queued = len(entries)
+	t.done = 0
+	t.failed = false
+	if err := t.rc.Write(t.writeFn); err != nil || t.failed {
+		return t.done, t.queued - t.done
+	}
+	return t.done, 0
+}
+
+// writeSockaddr encodes ap into b as a sockaddr_in / sockaddr_in6 and
+// returns the struct length.
+func writeSockaddr(b *[sockaddrBuf]byte, ap netip.AddrPort) uint32 {
+	a := ap.Addr()
+	p := ap.Port()
+	if a.Is4() {
+		b[0], b[1] = byte(syscall.AF_INET), 0
+		b[2], b[3] = byte(p>>8), byte(p)
+		ip := a.As4()
+		copy(b[4:8], ip[:])
+		for i := 8; i < 16; i++ {
+			b[i] = 0
+		}
+		return syscall.SizeofSockaddrInet4
+	}
+	b[0], b[1] = byte(syscall.AF_INET6), 0
+	b[2], b[3] = byte(p>>8), byte(p)
+	b[4], b[5], b[6], b[7] = 0, 0, 0, 0 // flowinfo
+	ip := a.As16()
+	copy(b[8:24], ip[:])
+	b[24], b[25], b[26], b[27] = 0, 0, 0, 0 // scope
+	return syscall.SizeofSockaddrInet6
+}
+
+// listenConfig returns a ListenConfig that sets SO_REUSEPORT, so every
+// worker binds its own socket on the same port and the kernel
+// load-balances flows across them.
+func listenConfig() net.ListenConfig {
+	return net.ListenConfig{Control: func(network, address string, c syscall.RawConn) error {
+		var serr error
+		err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReuseport, 1)
+		})
+		if err != nil {
+			return err
+		}
+		return serr
+	}}
+}
+
+// soReuseport is SO_REUSEPORT, absent from the stdlib syscall package.
+const soReuseport = 0x0f

@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package wire
+
+// sysSendmmsg is __NR_sendmmsg on linux/amd64 (no syscall.SYS_ constant
+// exists for it in the stdlib).
+const sysSendmmsg = 307

@@ -1,0 +1,64 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package wire
+
+import (
+	"net"
+	"net/netip"
+)
+
+// Portable single-syscall fallback: one datagram per
+// ReadFromUDPAddrPort/WriteToUDPAddrPort call. These netip-based
+// methods are allocation-free, so the zero-alloc steady-state contract
+// holds here too — only the batching (and SO_REUSEPORT worker sockets)
+// is Linux-specific.
+
+// batchIO reports that this platform has no batched syscall path;
+// workers share one socket.
+const batchIO = false
+
+type rxBatch struct {
+	conn  *net.UDPConn
+	bufs  [][]byte
+	len0  int
+	from0 netip.AddrPort
+}
+
+func newRxBatch(conn *net.UDPConn, bufs [][]byte) (*rxBatch, error) {
+	return &rxBatch{conn: conn, bufs: bufs}, nil
+}
+
+// recv reads one datagram into slot 0.
+func (r *rxBatch) recv() (int, error) {
+	n, from, err := r.conn.ReadFromUDPAddrPort(r.bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	r.len0 = n
+	r.from0 = from
+	return 1, nil
+}
+
+func (r *rxBatch) length(i int) int          { return r.len0 }
+func (r *rxBatch) from(i int) netip.AddrPort { return r.from0 }
+
+type txBatch struct {
+	conn *net.UDPConn
+}
+
+func newTxBatch(conn *net.UDPConn, capacity int) (*txBatch, error) {
+	return &txBatch{conn: conn}, nil
+}
+
+func (t *txBatch) send(entries []txEntry) (sent, errs int) {
+	for i := range entries {
+		if _, err := t.conn.WriteToUDPAddrPort(entries[i].data, entries[i].addr); err != nil {
+			return sent, len(entries) - sent
+		}
+		sent++
+	}
+	return sent, 0
+}
+
+// listenConfig returns the default config (no SO_REUSEPORT).
+func listenConfig() net.ListenConfig { return net.ListenConfig{} }

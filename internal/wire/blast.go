@@ -1,0 +1,222 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Blast is the load-generator side of the wire engine: it pushes TIP
+// datagrams at a target as fast as the socket allows, through the same
+// batched send path the server uses. In echo mode it also reads the
+// echoes back with a bounded outstanding window — UDP has no flow
+// control, so pacing against the echoes is what keeps a loopback
+// benchmark lossless instead of overrunning the receiver's socket
+// buffer.
+
+// BlastConfig configures one blast run.
+type BlastConfig struct {
+	// Target is the engine's UDP address.
+	Target netip.AddrPort
+	// Count is the total number of datagrams to send.
+	Count int
+	// Packets are the datagram templates, cycled in order. Required.
+	Packets [][]byte
+	// Batch is the sendmmsg batch size (default 64).
+	Batch int
+	// Echo reads echoes back and paces the send window against them.
+	Echo bool
+	// Window is the maximum outstanding (sent minus echoed) datagrams
+	// in echo mode (default 256 — comfortably inside a default UDP
+	// receive buffer for small packets).
+	Window int
+	// Conns is the number of parallel client sockets (default 1). Each
+	// socket is a distinct source port, so SO_REUSEPORT servers spread
+	// them across workers.
+	Conns int
+	// Timeout is the per-read echo deadline; expiry writes off the
+	// outstanding window as lost (default 2s).
+	Timeout time.Duration
+}
+
+func (c *BlastConfig) fill() error {
+	if len(c.Packets) == 0 {
+		return errors.New("wire: blast needs at least one packet template")
+	}
+	if c.Count <= 0 {
+		return errors.New("wire: blast count must be positive")
+	}
+	if c.Batch <= 0 {
+		c.Batch = 64
+	}
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.Conns <= 0 {
+		c.Conns = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	return nil
+}
+
+// BlastResult summarizes a run.
+type BlastResult struct {
+	Sent       int // datagrams handed to the kernel
+	SendErrors int // datagrams the kernel refused (skipped, not retried)
+	Received   int // echoes read back (echo mode)
+	Lost       int // outstanding datagrams written off on echo timeout
+	Elapsed    time.Duration
+}
+
+// PPS is the achieved packet rate: echoes per second in echo mode
+// (each counted packet made the full client→server→client round),
+// sends per second otherwise.
+func (r BlastResult) PPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	n := r.Sent
+	if r.Received > 0 {
+		n = r.Received
+	}
+	return float64(n) / r.Elapsed.Seconds()
+}
+
+// Blast runs the load generator and blocks until Count datagrams are
+// resolved (sent, and in echo mode echoed or written off).
+func Blast(cfg BlastConfig) (BlastResult, error) {
+	if err := cfg.fill(); err != nil {
+		return BlastResult{}, err
+	}
+	start := time.Now()
+	var (
+		mu    sync.Mutex
+		total BlastResult
+		first error
+		wg    sync.WaitGroup
+	)
+	per := cfg.Count / cfg.Conns
+	for c := 0; c < cfg.Conns; c++ {
+		n := per
+		if c == cfg.Conns-1 {
+			n = cfg.Count - per*(cfg.Conns-1)
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(count int) {
+			defer wg.Done()
+			r, err := blastConn(&cfg, count)
+			mu.Lock()
+			defer mu.Unlock()
+			total.Sent += r.Sent
+			total.SendErrors += r.SendErrors
+			total.Received += r.Received
+			total.Lost += r.Lost
+			if err != nil && first == nil {
+				first = err
+			}
+		}(n)
+	}
+	wg.Wait()
+	total.Elapsed = time.Since(start)
+	return total, first
+}
+
+// blastConn drives one client socket.
+func blastConn(cfg *BlastConfig, count int) (BlastResult, error) {
+	var r BlastResult
+	wild := "0.0.0.0:0"
+	if cfg.Target.Addr().Is6() {
+		wild = "[::]:0"
+	}
+	pc, err := net.ListenPacket("udp", wild)
+	if err != nil {
+		return r, fmt.Errorf("wire: blast socket: %w", err)
+	}
+	conn := pc.(*net.UDPConn)
+	defer conn.Close()
+
+	tx, err := newTxBatch(conn, cfg.Batch)
+	if err != nil {
+		return r, err
+	}
+	var rx *rxBatch
+	if cfg.Echo {
+		bufs := make([][]byte, cfg.Batch)
+		slab := make([]byte, cfg.Batch*2048)
+		for i := range bufs {
+			bufs[i] = slab[i*2048 : (i+1)*2048]
+		}
+		if rx, err = newRxBatch(conn, bufs); err != nil {
+			return r, err
+		}
+	}
+
+	entries := make([]txEntry, cfg.Batch)
+	for i := range entries {
+		entries[i].addr = cfg.Target
+	}
+	window := cfg.Window
+	if !cfg.Echo {
+		window = count // no pacing without echoes
+	}
+	next := 0 // template rotation cursor
+	progress, outstanding := 0, 0
+	for progress < count || outstanding > 0 {
+		// Fill the send window.
+		for progress < count && outstanding < window {
+			k := min(cfg.Batch, window-outstanding, count-progress)
+			for i := 0; i < k; i++ {
+				entries[i].data = cfg.Packets[next]
+				next++
+				if next == len(cfg.Packets) {
+					next = 0
+				}
+			}
+			sent, errs := tx.send(entries[:k])
+			r.Sent += sent
+			r.SendErrors += errs
+			// A refused datagram (e.g. ICMP-driven ECONNREFUSED) is
+			// skipped, not retried: count it as resolved progress.
+			progress += sent + errs
+			if cfg.Echo {
+				outstanding += sent
+				if errs > 0 {
+					break // let the echo side drain before pushing harder
+				}
+			}
+		}
+		if !cfg.Echo || outstanding == 0 {
+			continue
+		}
+		// Drain echoes.
+		if err := conn.SetReadDeadline(time.Now().Add(cfg.Timeout)); err != nil {
+			return r, err
+		}
+		n, err := rx.recv()
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// Write off the window: those datagrams (or their
+				// echoes) are gone.
+				r.Lost += outstanding
+				outstanding = 0
+				continue
+			}
+			return r, err
+		}
+		r.Received += n
+		outstanding -= n
+		if outstanding < 0 {
+			outstanding = 0 // duplicated echoes
+		}
+	}
+	return r, nil
+}

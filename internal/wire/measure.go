@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// Reusable measurement workloads, shared by the package benchmarks and
+// the tussle-bench -wire-json baseline writer so the committed
+// BENCH_wire.json numbers measure exactly what the benchmarks do.
+
+// ProcessBench measures the decision kernel alone: filter → decode →
+// TTL patch → route, no sockets. One op is one forwarded datagram.
+type ProcessBench struct {
+	dp   *Dataplane
+	tmpl []byte
+	buf  []byte
+}
+
+// NewProcessBench builds a forwarding node (2, peers 1 and 3) and a
+// 67-byte payload-bearing datagram addressed across it.
+func NewProcessBench() (*ProcessBench, error) {
+	dp := NewDataplane(NodeConfig{
+		ID: 2,
+		Route: func(dst packet.Addr, tip *packet.TIP) (topology.NodeID, bool) {
+			if dst.Provider() >= 3 {
+				return 3, true
+			}
+			return 1, true
+		},
+		Peers: []topology.NodeID{1, 3},
+	})
+	tmpl, err := packet.Serialize(
+		&packet.TIP{TTL: 64, Proto: packet.LayerTypeRaw, Src: packet.MakeAddr(1, 1), Dst: packet.MakeAddr(4, 1)},
+		&packet.Raw{Data: []byte("wire-process-bench-payload")})
+	if err != nil {
+		return nil, err
+	}
+	b := &ProcessBench{dp: dp, tmpl: tmpl, buf: make([]byte, len(tmpl))}
+	return b, nil
+}
+
+// Run decides count datagrams. Each op refills the receive buffer from
+// the template (as a real receive would) and must decide Forward; the
+// loop allocates nothing.
+func (b *ProcessBench) Run(count int) error {
+	for i := 0; i < count; i++ {
+		copy(b.buf, b.tmpl)
+		if dec := b.dp.Process(b.buf); dec.Kind != Forward || dec.Next != 3 {
+			return fmt.Errorf("wire: process bench decided %v, want forward 3", dec)
+		}
+	}
+	return nil
+}
+
+// LoopbackBench measures the full engine round trip on loopback: blast
+// client → recv batch → filter → decode → deliver → echo batch →
+// client. One op is one datagram making the complete round.
+type LoopbackBench struct {
+	eng     *Engine
+	packets [][]byte
+	conns   int
+}
+
+// NewLoopbackBench starts an echo engine with the given worker count on
+// 127.0.0.1. Close must be called when done.
+func NewLoopbackBench(workers int) (*LoopbackBench, error) {
+	eng, err := New(Config{
+		Listen:  "127.0.0.1:0",
+		Workers: workers,
+		Echo:    true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go eng.Run()
+	data, err := packet.Serialize(
+		&packet.TIP{TTL: 8, Proto: packet.LayerTypeRaw, Src: packet.MakeAddr(1, 1), Dst: packet.MakeAddr(0, 1)},
+		&packet.Raw{Data: []byte("wire-loopback-bench")})
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	conns := workers
+	if conns < 1 {
+		conns = 1
+	}
+	return &LoopbackBench{eng: eng, packets: [][]byte{data}, conns: conns}, nil
+}
+
+// Addr returns the engine's bound address.
+func (b *LoopbackBench) Addr() netip.AddrPort { return b.eng.Addr() }
+
+// Stats returns the engine-side counters.
+func (b *LoopbackBench) Stats() Stats { return b.eng.Stats() }
+
+// Run round-trips count datagrams and returns the blast-side result.
+func (b *LoopbackBench) Run(count int) (BlastResult, error) {
+	return Blast(BlastConfig{
+		Target:  b.eng.Addr(),
+		Count:   count,
+		Packets: b.packets,
+		Echo:    true,
+		Conns:   b.conns,
+	})
+}
+
+// Close shuts the engine down.
+func (b *LoopbackBench) Close() { b.eng.Close() }
