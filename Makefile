@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-json scale-json scale-smoke wire-json wire-smoke shard-determinism experiments metrics fuzz-smoke golden-check invariant-sweep cover ci
+.PHONY: all build vet test race bench-smoke bench bench-json scale-json scale-smoke wire-json wire-smoke policy-json policy-smoke shard-determinism experiments metrics fuzz-smoke golden-check invariant-sweep cover ci
 
 all: vet build test
 
@@ -84,6 +84,26 @@ wire-smoke:
 	$(GO) run ./cmd/tussle-bench -wire-json /tmp/wire-smoke.json -iters 2
 	$(GO) run ./cmd/tussle-bench -compare -tolerance 0.5 BENCH_wire.json /tmp/wire-smoke.json
 
+# Regenerate the committed policy-VM perf baseline: per-eval ns/op and
+# allocs/op for the scalar / membership / nested policy shapes through
+# the pooled dense-slot VM path (the BenchmarkPolicyEval sweep as
+# committable JSON, gated by the same -compare machinery).
+policy-json:
+	$(GO) run ./cmd/tussle-bench -policy-json BENCH_policy.json -iters 5
+
+# Policy-VM smoke (<2 min): the differential suite (compiled VM vs
+# tree-walking reference on tabled, random, and fuzz-corpus inputs), the
+# budget-exhaustion canary (a 100k-clause hostile policy must stop at its
+# step budget, not hang), then a quick policy measurement gated against
+# the committed baseline — allocs/op at zero tolerance, so the compiled
+# scalar steady state staying zero-alloc is CI-enforced (tolerance
+# rationale as in bench-smoke).
+policy-smoke:
+	$(GO) test -run 'TestVMDifferential|TestRunSlotsMatchesRun|TestCompiledDocumentMatchesEvaluate|FuzzCompileEval' -count=1 ./internal/policy
+	$(GO) test -run 'TestBudget|TestAllocBudgetAccounting|TestVMScalarZeroAlloc|TestEvalUnknownAttrZeroAlloc' -count=1 -v ./internal/policy | grep -q 'PASS.*TestBudgetCanaryDeepPolicy'
+	$(GO) run ./cmd/tussle-bench -policy-json /tmp/policy-smoke.json -iters 3
+	$(GO) run ./cmd/tussle-bench -compare -tolerance 0.5 BENCH_policy.json /tmp/policy-smoke.json
+
 # Shard-count determinism: the scale digest on stdout AND the merged
 # -metrics snapshot must be byte-identical at shards 1/2/4/8, sequential
 # or parallel, with and without chaos, at two seeds.
@@ -121,6 +141,7 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzDecodeReuse$$' -fuzztime=30s ./internal/packet
 	$(GO) test -fuzz='^FuzzFaultPlan$$' -fuzztime=30s ./internal/chaos
 	$(GO) test -fuzz='^FuzzShrinkRoundTrip$$' -fuzztime=30s ./internal/invariant
+	$(GO) test -fuzz='^FuzzCompileEval$$' -fuzztime=30s ./internal/policy
 
 # Property-based invariant sweeps: seeded random topologies, traffic, and
 # fault plans run with the runtime invariant checker armed (see
@@ -143,4 +164,4 @@ cover:
 golden-check: experiments
 	git diff --exit-code EXPERIMENTS.md
 
-ci: vet build test race bench-smoke fuzz-smoke golden-check invariant-sweep shard-determinism scale-smoke wire-smoke
+ci: vet build test race bench-smoke fuzz-smoke golden-check invariant-sweep shard-determinism scale-smoke wire-smoke policy-smoke

@@ -1,0 +1,118 @@
+package main
+
+// The policy sweep: committable measurements of the metered policy VM,
+// recorded in the suiteBench schema so the existing -compare gate holds
+// BENCH_policy.json against a fresh run. One op is one policy
+// evaluation (compile once, evaluate count times through the pooled
+// dense-slot path under a fresh per-invocation budget — the exact
+// per-packet discipline of the netsim/wire choice points). Figures are
+// per-eval minima across iterations, so the zero-tolerance allocs/op
+// gate pins the compiled scalar steady state at literally zero.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// policyShapes are the three policy shapes the VM is sized for: a scalar
+// predicate (the common forwarding gate), a folded-constant list
+// membership (ACL style), and a three-level nested boolean (composed
+// stakeholder clauses).
+var policyShapes = []struct {
+	id    string
+	src   string
+	count int
+}{
+	{"policy-scalar", `port == 443 || port == 80`, 5_000_000},
+	{"policy-member", `port in [80, 443, 8080, 8443]`, 5_000_000},
+	{"policy-nested", `((paid && port == 443) || (ttl > 4 && port == 80)) && (!blocked || paid)`, 2_000_000},
+}
+
+// policySlots builds one slot vector for a compiled shape, covering the
+// attribute vocabulary the shapes above draw from.
+func policySlots(p *policy.Program) ([]policy.Value, error) {
+	vals := map[string]policy.Value{
+		"port":    policy.Num(80),
+		"ttl":     policy.Num(12),
+		"paid":    policy.Bool(false),
+		"blocked": policy.Bool(false),
+	}
+	attrs := p.Attrs()
+	slots := make([]policy.Value, len(attrs))
+	for i, name := range attrs {
+		v, ok := vals[name]
+		if !ok {
+			return nil, fmt.Errorf("no bench value for attribute %q", name)
+		}
+		slots[i] = v
+	}
+	return slots, nil
+}
+
+// benchPolicy measures the policy-VM workloads; ns/op is the per-eval
+// minimum across iterations, allocs the per-eval minimum.
+func benchPolicy(iters int) suiteBench {
+	sb := suiteBench{
+		Iters:       iters,
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: 1,
+		SpeedupNote: "policy sweep: single-goroutine per-eval figures through the pooled dense-slot VM path",
+	}
+	var m0, m1 runtime.MemStats
+	for _, sh := range policyShapes {
+		prog, err := policy.CompileText(sh.src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tussle-bench: %s: %v\n", sh.id, err)
+			os.Exit(1)
+		}
+		slots, err := policySlots(prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tussle-bench: %s: %v\n", sh.id, err)
+			os.Exit(1)
+		}
+		run := func(n int) {
+			for i := 0; i < n; i++ {
+				b := policy.NewBudget(4096, 4096)
+				if _, err := prog.RunSlots(slots, &b); err != nil {
+					fmt.Fprintf(os.Stderr, "tussle-bench: %s: %v\n", sh.id, err)
+					os.Exit(1)
+				}
+			}
+		}
+		run(min(sh.count, 10_000)) // warm the VM pool
+		var minNs int64
+		var minAllocs, minBytes uint64
+		for i := 0; i < iters; i++ {
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			t0 := time.Now()
+			run(sh.count)
+			el := time.Since(t0).Nanoseconds()
+			runtime.ReadMemStats(&m1)
+			if i == 0 || el < minNs {
+				minNs = el
+			}
+			if a := m1.Mallocs - m0.Mallocs; i == 0 || a < minAllocs {
+				minAllocs = a
+			}
+			if b := m1.TotalAlloc - m0.TotalAlloc; i == 0 || b < minBytes {
+				minBytes = b
+			}
+		}
+		n := uint64(sh.count)
+		sb.Experiments = append(sb.Experiments, expBench{
+			ID:          sh.id,
+			NsPerOp:     minNs / int64(n),
+			AllocsPerOp: minAllocs / n,
+			BytesPerOp:  minBytes / n,
+		})
+	}
+	return sb
+}

@@ -19,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/netsim"
 	"repro/internal/packet"
 	"repro/internal/topology"
 	"repro/internal/wire"
@@ -80,12 +81,22 @@ func runServe(args []string) int {
 	echo := fs.Bool("echo", false, "echo delivered datagrams back to the sender")
 	srcroute := fs.Bool("srcroute", false, "honor source-route options")
 	srcroutePaid := fs.Bool("srcroute-paid", false, "honor source routes only when the packet carries a payment option")
+	srcroutePolicy := fs.String("srcroute-policy", "", "honor source routes only when this TPL expression holds (attrs: paid, ttl, dst-provider, src-provider, waypoint-provider); compiled once, metered per packet; implies -srcroute")
 	filterStats := fs.Bool("filter-stats", false, "print counters (with the sanity-filter verdict histogram) every second")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the serve loop to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile (at shutdown) to this file")
 	peers := peerFlag{}
 	fs.Var(peers, "peer", "next-hop mapping id=host:port (repeatable)")
 	fs.Parse(args)
+
+	var srPolicy *netsim.SourceRoutePolicy
+	if *srcroutePolicy != "" {
+		var err error
+		if srPolicy, err = netsim.CompileSourceRoutePolicy(*srcroutePolicy); err != nil {
+			fmt.Fprintf(os.Stderr, "tussled: -srcroute-policy: %v\n", err)
+			return 1
+		}
+	}
 
 	id := topology.NodeID(*node)
 	peerIDs := make([]topology.NodeID, 0, len(peers))
@@ -109,8 +120,9 @@ func runServe(args []string) int {
 			return wire.NewDataplane(wire.NodeConfig{
 				ID:                           id,
 				Route:                        route,
-				HonorSourceRoutes:            *srcroute || *srcroutePaid,
+				HonorSourceRoutes:            *srcroute || *srcroutePaid || srPolicy != nil,
 				RequirePaymentForSourceRoute: *srcroutePaid,
+				SourceRoutePolicy:            srPolicy,
 				Peers:                        peerIDs,
 			})
 		},

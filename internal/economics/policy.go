@@ -1,0 +1,99 @@
+package economics
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+)
+
+// Market admission as a compiled, metered policy program: a provider may
+// gate who it will serve with an arbitrary TPL expression over the
+// consumer's visible demand profile — the §V-A2 server ban or a
+// "business customers only" tier expressed as stakeholder code rather
+// than hardcoded offer booleans. Policies compile once through the
+// shared policy.DefaultCache and evaluate on the policy VM under a
+// per-decision budget, so a pathological policy cannot stall market
+// clearing; evaluation errors fail safe (the consumer is not admitted by
+// that provider this round).
+//
+// Admission gates the round's choice set only: consumers already
+// subscribed are grandfathered until they churn on their own terms —
+// the market models contract stickiness, not mid-round eviction.
+
+// Admission policy vocabulary: the consumer attributes a provider's
+// policy may condition on, plus the clearing round.
+var admissionVocab = map[string]uint8{
+	"runs-server":      0,
+	"wants-encryption": 1,
+	"wants-qos":        2,
+	"can-tunnel":       3,
+	"wtp":              4,
+	"switch-cost":      5,
+	"round":            6,
+}
+
+// AdmissionPolicySteps is the per-decision step/allocation budget.
+const AdmissionPolicySteps = 4096
+
+// SetAdmissionPolicy installs a compiled admission policy on the
+// provider (empty src clears it). Attribute references outside the
+// vocabulary are rejected at install time.
+func (p *Provider) SetAdmissionPolicy(src string) error {
+	if src == "" {
+		p.admission, p.admissionCodes, p.admissionSlots = nil, nil, nil
+		return nil
+	}
+	prog, err := policy.CompileText(src)
+	if err != nil {
+		return err
+	}
+	attrs := prog.Attrs()
+	codes := make([]uint8, len(attrs))
+	for i, name := range attrs {
+		code, ok := admissionVocab[name]
+		if !ok {
+			return fmt.Errorf("economics: admission policy references unknown attribute %q", name)
+		}
+		codes[i] = code
+	}
+	p.admission = prog
+	p.admissionCodes = codes
+	p.admissionSlots = make([]policy.Value, len(codes))
+	return nil
+}
+
+// AdmissionPolicyText returns the canonical text of the installed
+// policy, or "" when the provider admits everyone.
+func (p *Provider) AdmissionPolicyText() string {
+	if p.admission == nil {
+		return ""
+	}
+	return p.admission.Source()
+}
+
+// admits evaluates the provider's admission policy for one consumer.
+// Markets are single-goroutine, so the provider-owned slot scratch is
+// safe to reuse across decisions.
+func (p *Provider) admits(c *Consumer, round int) bool {
+	for i, code := range p.admissionCodes {
+		switch code {
+		case 0:
+			p.admissionSlots[i] = policy.Bool(c.RunsServer)
+		case 1:
+			p.admissionSlots[i] = policy.Bool(c.WantsEncryption)
+		case 2:
+			p.admissionSlots[i] = policy.Bool(c.WantsQoS)
+		case 3:
+			p.admissionSlots[i] = policy.Bool(c.CanTunnel)
+		case 4:
+			p.admissionSlots[i] = policy.Num(c.WTP)
+		case 5:
+			p.admissionSlots[i] = policy.Num(c.SwitchCost)
+		default:
+			p.admissionSlots[i] = policy.Num(float64(round))
+		}
+	}
+	b := policy.NewBudget(AdmissionPolicySteps, AdmissionPolicySteps)
+	v, err := p.admission.RunSlots(p.admissionSlots, &b)
+	return err == nil && v.Kind == policy.KindBool && v.B
+}

@@ -1,0 +1,80 @@
+package economics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// These tests pin the compiled market-admission policy: a provider can
+// express the §V-A2 server ban (or any TPL predicate over the demand
+// profile) as stakeholder code, out-of-vocabulary policies are refused
+// at install time, and current subscribers are grandfathered.
+
+func TestAdmissionPolicyServerBan(t *testing.T) {
+	rng := sim.NewRNG(3)
+	banning := &Provider{Name: "ban", Cost: 1,
+		Offer: Offer{Price: 3, AllowsServers: true}, Strat: StaticPricing{}}
+	if err := banning.SetAdmissionPolicy("!runs-server"); err != nil {
+		t.Fatal(err)
+	}
+	open := &Provider{Name: "open", Cost: 1,
+		Offer: Offer{Price: 6, AllowsServers: true}, Strat: StaticPricing{}}
+	consumers := mkConsumers(20, 20, 0)
+	for i, c := range consumers {
+		c.RunsServer = i%2 == 0
+	}
+	m := NewMarket(rng, []*Provider{banning, open}, consumers)
+	m.Run(10)
+	for _, c := range consumers {
+		if c.RunsServer && c.Provider == 0 {
+			t.Fatalf("consumer %d runs a server yet subscribed to the banning provider", c.ID)
+		}
+		if !c.RunsServer && c.Provider != 0 {
+			t.Fatalf("consumer %d should prefer the cheaper banning provider, got %d", c.ID, c.Provider)
+		}
+	}
+}
+
+func TestAdmissionPolicyGrandfathersSubscribers(t *testing.T) {
+	rng := sim.NewRNG(4)
+	p := &Provider{Name: "isp", Cost: 1, Offer: Offer{Price: 3, AllowsServers: true}, Strat: StaticPricing{}}
+	consumers := mkConsumers(5, 20, 0)
+	for _, c := range consumers {
+		c.RunsServer = true
+	}
+	m := NewMarket(rng, []*Provider{p}, consumers)
+	m.Run(3)
+	if p.Subscribers != len(consumers) {
+		t.Fatalf("pre-policy subscribers = %d", p.Subscribers)
+	}
+	// Policy lands after the contracts exist: nobody is evicted.
+	if err := p.SetAdmissionPolicy("!runs-server"); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(3)
+	if p.Subscribers != len(consumers) {
+		t.Fatalf("post-policy subscribers = %d, want %d (grandfathered)", p.Subscribers, len(consumers))
+	}
+}
+
+func TestAdmissionPolicyInstall(t *testing.T) {
+	p := &Provider{}
+	if err := p.SetAdmissionPolicy("paid"); err == nil ||
+		!strings.Contains(err.Error(), `"paid"`) {
+		t.Fatalf("out-of-vocabulary install error = %v", err)
+	}
+	if err := p.SetAdmissionPolicy("wtp >"); err == nil {
+		t.Fatal("parse error not surfaced at install")
+	}
+	if err := p.SetAdmissionPolicy("wtp >= 10 && !runs-server"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.AdmissionPolicyText(); got != "((wtp >= 10) && !runs-server)" {
+		t.Fatalf("canonical policy text = %q", got)
+	}
+	if err := p.SetAdmissionPolicy(""); err != nil || p.AdmissionPolicyText() != "" {
+		t.Fatalf("clearing: err=%v text=%q", err, p.AdmissionPolicyText())
+	}
+}

@@ -166,6 +166,13 @@ type PolicyFirewall struct {
 	// Errors counts rule evaluation failures (unknown attributes —
 	// tussles outside the ontology).
 	Errors int
+
+	// compiled caches the bytecode form of Doc (built on first Process,
+	// rebuilt if Doc is swapped). The VM and the tree-walker are
+	// differentially tested to agree on every value and error, so this
+	// changes per-packet cost, not decisions.
+	compiled *policy.CompiledDocument
+	budget   policy.Budget
 }
 
 // Vocabulary is the attribute ontology a PolicyFirewall exposes to
@@ -241,7 +248,23 @@ func buildEnv(dir netsim.Direction, data []byte) policy.Env {
 // Process implements netsim.Middlebox.
 func (f *PolicyFirewall) Process(node topology.NodeID, dir netsim.Direction, data []byte) ([]byte, netsim.Verdict) {
 	env := buildEnv(dir, data)
-	d, errs := policy.Evaluate(f.Doc, env)
+	if f.compiled == nil || f.compiled.Doc != f.Doc {
+		cd, err := policy.CompileDocument(f.Doc)
+		if err != nil {
+			// Unreachable for a parsed document; fall back to reference
+			// semantics rather than fail open or closed.
+			d, errs := policy.Evaluate(f.Doc, env)
+			f.Errors += len(errs)
+			if d.Permitted() {
+				return nil, netsim.Accept
+			}
+			f.Hits++
+			return nil, netsim.Drop
+		}
+		f.compiled = cd
+	}
+	f.budget = policy.DefaultBudget()
+	d, errs := f.compiled.Evaluate(env, &f.budget)
 	f.Errors += len(errs)
 	if d.Permitted() {
 		return nil, netsim.Accept

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -120,6 +121,12 @@ type Node struct {
 	// the provider honors source routes only when the packet carries a
 	// payment voucher.
 	RequirePaymentForSourceRoute bool
+	// srcRoutePolicy generalizes the payment flag: a compiled, metered
+	// admission program evaluated per packet on the policy VM (see
+	// SetSourceRoutePolicy). While set it replaces the boolean check;
+	// srcRouteSlots is this node's evaluation scratch.
+	srcRoutePolicy *SourceRoutePolicy
+	srcRouteSlots  []policy.Value
 	// Middleboxes are processed in order; any Drop wins. See the
 	// Middlebox interface for the single-pass chain semantics.
 	Middleboxes []Middlebox
@@ -902,7 +909,15 @@ func (nd *Node) nextHop(f *flight) (topology.NodeID, bool) {
 	if nd.HonorSourceRoutes {
 		if wp, ok := packet.PeekSourceRoute(f.data); ok {
 			allowed := true
-			if nd.RequirePaymentForSourceRoute && tip.Payment == nil {
+			if nd.srcRoutePolicy != nil {
+				// Compiled admission policy: fail-safe deny, bounded by
+				// the per-packet budget. wire.Dataplane.nextHop runs the
+				// identical check at the identical point.
+				allowed = nd.srcRoutePolicy.Allow(nd.srcRouteSlots, tip, wp)
+				if !allowed && nd.Counters != nil {
+					nd.Counters.Inc("srcroute_denied")
+				}
+			} else if nd.RequirePaymentForSourceRoute && tip.Payment == nil {
 				allowed = false
 				if nd.Counters != nil {
 					nd.Counters.Inc("srcroute_unpaid")

@@ -1,0 +1,9 @@
+//go:build race
+
+package netsim
+
+// raceEnabled reports that this test binary runs under the race
+// detector, which makes sync.Pool drop 25% of Puts on purpose — pooled
+// paths then allocate nondeterministically, so strict alloc bounds over
+// many pool round-trips per run are meaningless under -race.
+const raceEnabled = true

@@ -90,7 +90,26 @@ func (e *LitExpr) refs(*[]string) {}
 func (e *LitExpr) String() string { return e.V.String() }
 
 // RefExpr reads an attribute from the environment.
-type RefExpr struct{ Name string }
+type RefExpr struct {
+	Name string
+	// unknownErr is the pre-wrapped unknown-attribute error, built once
+	// at construction so the Eval miss path never calls fmt.Sprintf —
+	// policies probing for absent attributes are a hot-path allocation
+	// vector otherwise (the same hardening the packet decoder applies to
+	// its static errors). Nil for hand-built literals; Eval falls back
+	// to formatting then.
+	unknownErr error
+}
+
+// NewRefExpr builds an attribute reference with its unknown-attribute
+// error pre-wrapped. The parser uses it; hand-built ASTs may use a bare
+// &RefExpr{Name: ...} literal at the cost of an allocation per miss.
+func NewRefExpr(name string) *RefExpr {
+	return &RefExpr{
+		Name:       name,
+		unknownErr: &EvalError{Msg: fmt.Sprintf("unknown attribute %q", name)},
+	}
+}
 
 func (e *RefExpr) refs(into *[]string) { *into = append(*into, e.Name) }
 func (e *RefExpr) String() string      { return e.Name }

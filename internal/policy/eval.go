@@ -26,6 +26,9 @@ func Eval(e Expr, env Env) (Value, error) {
 	case *RefExpr:
 		v, ok := env[n.Name]
 		if !ok {
+			if n.unknownErr != nil {
+				return Value{}, n.unknownErr
+			}
 			return Value{}, evalErrf("unknown attribute %q", n.Name)
 		}
 		return v, nil

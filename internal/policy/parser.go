@@ -294,7 +294,7 @@ func (p *parser) term() (Expr, error) {
 		return &LitExpr{V: Bool(t.text == "true")}, nil
 	case t.kind == tokIdent:
 		p.pos++
-		return &RefExpr{Name: t.text}, nil
+		return NewRefExpr(t.text), nil
 	case t.kind == tokPunct && t.text == "(":
 		p.pos++
 		e, err := p.expr()

@@ -1,0 +1,89 @@
+package trust
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// Attestation checks as compiled, metered policy programs: a relying
+// party accepts a certified identity only if the certificate's attested
+// attributes satisfy its own policy — §V-B's point that *which* third
+// parties and *what* attestations to trust is the relying party's
+// choice, not the scheme's. The policy is TPL over the certificate's
+// attribute map (every attested attribute is a string-valued policy
+// attribute) plus "subject" and "issuer", compiled once through the
+// shared policy.DefaultCache and executed on the policy VM under a
+// budget, so a hostile policy — or a certificate bloated to make a
+// honest policy expensive — costs a bounded number of steps.
+
+// ErrAttestationDenied reports a certificate whose attested attributes
+// fail the relying party's policy.
+var ErrAttestationDenied = errors.New("trust: attestation policy denied")
+
+// AttestationPolicySteps is the per-check step/allocation budget.
+const AttestationPolicySteps = 4096
+
+// AttestationPolicy is a relying party's compiled acceptance predicate
+// over certificate attestations. Immutable and safe to share.
+type AttestationPolicy struct {
+	prog *policy.Program
+}
+
+// NewAttestationPolicy compiles src through the shared cache. Unlike the
+// forwarding-plane vocabularies, attestation attributes are open-ended
+// (issuers attest whatever they attest), so references are checked at
+// evaluation time: a policy that reads an attribute the certificate does
+// not carry denies, fail-safe.
+func NewAttestationPolicy(src string) (*AttestationPolicy, error) {
+	prog, err := policy.CompileText(src)
+	if err != nil {
+		return nil, err
+	}
+	return &AttestationPolicy{prog: prog}, nil
+}
+
+// Source returns the canonical policy text.
+func (ap *AttestationPolicy) Source() string { return ap.prog.Source() }
+
+// Check evaluates the policy against one certificate's attestations.
+// Any evaluation error — unknown attribute, type error, budget breach —
+// denies with that error wrapped; a false verdict denies with
+// ErrAttestationDenied.
+func (ap *AttestationPolicy) Check(c *Certificate) error {
+	env := policy.Env{
+		"subject": policy.Str(c.Subject),
+		"issuer":  policy.Str(c.Issuer),
+	}
+	for k, v := range c.Attributes {
+		env[k] = policy.Str(v)
+	}
+	b := policy.NewBudget(AttestationPolicySteps, AttestationPolicySteps)
+	v, err := ap.prog.Run(env, &b)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrAttestationDenied, err)
+	}
+	if v.Kind != policy.KindBool {
+		return fmt.Errorf("%w: policy returned %v, not bool", ErrAttestationDenied, v)
+	}
+	if !v.B {
+		return ErrAttestationDenied
+	}
+	return nil
+}
+
+// VerifyChainWithPolicy validates the certificate chain cryptographically
+// (VerifyChain) and then checks the leaf's attestations against the
+// relying party's policy — signature validity says the issuer vouched,
+// the policy says whether what it vouched for is good enough.
+func VerifyChainWithPolicy(chain []*Certificate, anchors Anchors, now sim.Time, ap *AttestationPolicy) error {
+	if err := VerifyChain(chain, anchors, now); err != nil {
+		return err
+	}
+	if ap != nil {
+		return ap.Check(chain[0])
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package trust
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// These tests pin the compiled attestation policy: a relying party's
+// acceptance predicate over certificate attributes runs on the metered
+// policy VM, denies fail-safe on missing attributes, and composes with
+// cryptographic chain validation.
+
+func TestAttestationPolicyCheck(t *testing.T) {
+	rng := sim.NewRNG(11)
+	ca := NewPrincipal("root-ca", Certified, rng)
+	alice := NewPrincipal("alice", Certified, rng)
+	cert := Issue(ca, "alice", alice.Pub,
+		map[string]string{"role": "subscriber", "region": "eu"}, 100*sim.Second)
+
+	ap, err := NewAttestationPolicy(`role == "subscriber" && issuer == "root-ca"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.Check(cert); err != nil {
+		t.Fatalf("matching attestation rejected: %v", err)
+	}
+
+	admin, err := NewAttestationPolicy(`role == "admin"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Check(cert); !errors.Is(err, ErrAttestationDenied) {
+		t.Fatalf("mismatched attestation error = %v", err)
+	}
+
+	// Referencing an attribute the issuer never attested denies — the
+	// missing-attribute evaluation error is wrapped, not swallowed.
+	clearance, err := NewAttestationPolicy(`clearance == "high"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = clearance.Check(cert)
+	if !errors.Is(err, ErrAttestationDenied) || !strings.Contains(err.Error(), "unknown attribute") {
+		t.Fatalf("missing-attribute error = %v", err)
+	}
+
+	// A non-bool policy result also denies.
+	num, err := NewAttestationPolicy(`region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := num.Check(cert); !errors.Is(err, ErrAttestationDenied) {
+		t.Fatalf("non-bool policy error = %v", err)
+	}
+}
+
+func TestVerifyChainWithPolicy(t *testing.T) {
+	rng := sim.NewRNG(12)
+	root := NewPrincipal("root", Certified, rng)
+	inter := NewPrincipal("intermediate", Certified, rng)
+	leaf := NewPrincipal("leaf", Certified, rng)
+	interCert := Issue(root, "intermediate", inter.Pub, nil, 100*sim.Second)
+	leafCert := Issue(inter, "leaf", leaf.Pub,
+		map[string]string{"role": "server"}, 100*sim.Second)
+	anchors := Anchors{"root": root.Pub}
+	chain := []*Certificate{leafCert, interCert}
+
+	ok, err := NewAttestationPolicy(`role == "server" && issuer == "intermediate"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyChainWithPolicy(chain, anchors, 10, ok); err != nil {
+		t.Fatalf("valid chain + matching policy rejected: %v", err)
+	}
+	// nil policy degrades to plain chain validation.
+	if err := VerifyChainWithPolicy(chain, anchors, 10, nil); err != nil {
+		t.Fatalf("nil policy rejected valid chain: %v", err)
+	}
+	deny, err := NewAttestationPolicy(`role == "client"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyChainWithPolicy(chain, anchors, 10, deny); !errors.Is(err, ErrAttestationDenied) {
+		t.Fatalf("policy-denied chain error = %v", err)
+	}
+	// Cryptographic failure wins over the policy verdict: a chain that
+	// does not verify never reaches attestation checks.
+	if err := VerifyChainWithPolicy(chain, Anchors{}, 10, ok); errors.Is(err, ErrAttestationDenied) || err == nil {
+		t.Fatalf("unanchored chain error = %v", err)
+	}
+}

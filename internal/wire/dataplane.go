@@ -4,6 +4,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/policy"
 	"repro/internal/topology"
 )
 
@@ -18,6 +19,12 @@ type NodeConfig struct {
 	// netsim.Node fields (the §V-A4 source-routing tussle knobs).
 	HonorSourceRoutes            bool
 	RequirePaymentForSourceRoute bool
+	// SourceRoutePolicy is the compiled, metered admission program
+	// (netsim.CompileSourceRoutePolicy); while set it replaces the
+	// payment boolean, exactly as Node.SetSourceRoutePolicy does in the
+	// simulator. The compiled object is immutable and may be shared
+	// across workers; each Dataplane keeps its own evaluation scratch.
+	SourceRoutePolicy *netsim.SourceRoutePolicy
 	// Middleboxes are processed in installation order, single-pass,
 	// with the exact netsim chain semantics. Stateful implementations
 	// (NAT) are not goroutine-safe: build a fresh chain per Dataplane
@@ -45,6 +52,10 @@ type Dataplane struct {
 	malformedReason []string
 
 	tip packet.TIP // decode scratch, reused across packets
+
+	// srcSlots is this worker's source-route policy evaluation scratch
+	// (nil when no policy is configured).
+	srcSlots []policy.Value
 
 	o *dpObs // nil when observability is off (single nil check per site)
 }
@@ -80,6 +91,9 @@ func NewDataplane(cfg NodeConfig) *Dataplane {
 	for i, m := range cfg.Middleboxes {
 		d.blockedReason[i] = "blocked:" + m.Name()
 		d.malformedReason[i] = "malformed-after:" + m.Name()
+	}
+	if cfg.SourceRoutePolicy != nil {
+		d.srcSlots = cfg.SourceRoutePolicy.NewScratch()
 	}
 	return d
 }
@@ -218,7 +232,12 @@ func (d *Dataplane) nextHop(data []byte) (topology.NodeID, bool) {
 	if nd.HonorSourceRoutes {
 		if wp, ok := packet.PeekSourceRoute(data); ok {
 			allowed := true
-			if nd.RequirePaymentForSourceRoute && tip.Payment == nil {
+			if nd.SourceRoutePolicy != nil {
+				// Compiled admission policy: fail-safe deny, bounded by
+				// the per-packet budget — the netsim.Node.nextHop check,
+				// line for line.
+				allowed = nd.SourceRoutePolicy.Allow(d.srcSlots, tip, wp)
+			} else if nd.RequirePaymentForSourceRoute && tip.Payment == nil {
 				allowed = false
 			}
 			if allowed {

@@ -144,6 +144,95 @@ func TestDataplaneSourceRoutePolicy(t *testing.T) {
 	}
 }
 
+// TestDataplaneCompiledSourceRoutePolicy pins that a compiled `paid`
+// policy decides exactly like the legacy payment boolean, and that a
+// vocabulary-rich policy steers decisions the simulator mirror-test
+// (netsim TestSourceRoutePolicyWaypointSteering) pins on its side.
+func TestDataplaneCompiledSourceRoutePolicy(t *testing.T) {
+	srcRouted := func(pay bool) []byte {
+		tip := &packet.TIP{
+			TTL: 16, Proto: packet.LayerTypeRaw,
+			Src: packet.MakeAddr(4, 1), Dst: packet.MakeAddr(1, 9),
+			SourceRoute: &packet.SourceRouteOption{Hops: []packet.Addr{packet.MakeAddr(3, 1)}},
+		}
+		if pay {
+			tip.Payment = &packet.PaymentOption{Payer: tip.Src, Payee: packet.MakeAddr(2, 0), AmountMilli: 5, Nonce: 1, MAC: 9}
+		}
+		data, err := packet.Serialize(tip, &packet.Raw{Data: []byte("x")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	compiled := func(t *testing.T, src string) *netsim.SourceRoutePolicy {
+		t.Helper()
+		p, err := netsim.CompileSourceRoutePolicy(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name         string
+		policy       string
+		paid, unpaid string
+	}{
+		// `paid` ≡ RequirePaymentForSourceRoute (TestDataplaneSourceRoutePolicy).
+		{"paid", "paid", "forward 3", "forward 1"},
+		{"waypoint-allow", "waypoint-provider == 3", "forward 3", "forward 3"},
+		{"waypoint-deny", "waypoint-provider != 3", "forward 1", "forward 1"},
+		{"ttl-floor", "ttl > 20", "forward 1", "forward 1"}, // TTL is 15 after decrement
+	}
+	for _, c := range cases {
+		cfg := testNodeConfig(nil)
+		cfg.RequirePaymentForSourceRoute = false // the policy replaces it
+		cfg.SourceRoutePolicy = compiled(t, c.policy)
+		dp := NewDataplane(cfg)
+		if got := dp.Process(srcRouted(true)).String(); got != c.paid {
+			t.Errorf("%s: paid packet decided %q, want %q", c.name, got, c.paid)
+		}
+		if got := dp.Process(srcRouted(false)).String(); got != c.unpaid {
+			t.Errorf("%s: unpaid packet decided %q, want %q", c.name, got, c.unpaid)
+		}
+	}
+}
+
+// TestProcessZeroAllocWithPolicy extends the decision-kernel alloc gate
+// to the policy-enabled configuration: the compiled program runs on the
+// pooled VM through the dataplane-owned slot scratch, so installing a
+// source-route policy must not cost a single allocation per packet.
+func TestProcessZeroAllocWithPolicy(t *testing.T) {
+	cfg := testNodeConfig(nil)
+	pol, err := netsim.CompileSourceRoutePolicy("paid && ttl > 0 && waypoint-provider < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SourceRoutePolicy = pol
+	dp := NewDataplane(cfg)
+	tip := &packet.TIP{
+		TTL: 64, Proto: packet.LayerTypeRaw,
+		Src: packet.MakeAddr(4, 1), Dst: packet.MakeAddr(1, 9),
+		SourceRoute: &packet.SourceRouteOption{Hops: []packet.Addr{packet.MakeAddr(3, 1)}},
+		Payment:     &packet.PaymentOption{Payer: packet.MakeAddr(4, 1), AmountMilli: 5},
+	}
+	fwd, err := packet.Serialize(tip, &packet.Raw{Data: []byte("forward me")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(fwd))
+	copy(buf, fwd)
+	dp.Process(buf) // warm decode scratch and the VM pool
+	allocs := testing.AllocsPerRun(300, func() {
+		copy(buf, fwd)
+		if dec := dp.Process(buf); dec.Kind != Forward || dec.Next != 3 {
+			t.Fatalf("policy-gated packet decided %v", dec)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Process with policy costs %.1f allocs, want 0", allocs)
+	}
+}
+
 // TestProcessZeroAlloc is the decision-kernel alloc gate: the
 // steady-state mix (forward, deliver, malformed) must not allocate, or
 // the engine's per-packet path regresses. The gate covers the
