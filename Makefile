@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-json scale-json scale-smoke wire-json wire-smoke policy-json policy-smoke shard-determinism experiments metrics fuzz-smoke golden-check invariant-sweep cover ci
+.PHONY: all build vet test race bench-smoke bench bench-json scale-json scale-smoke wire-json wire-smoke policy-json policy-smoke shard-determinism experiments metrics fuzz-smoke golden-check invariant-sweep multipath-chaos cover ci
 
 all: vet build test
 
@@ -142,6 +142,7 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzFaultPlan$$' -fuzztime=30s ./internal/chaos
 	$(GO) test -fuzz='^FuzzShrinkRoundTrip$$' -fuzztime=30s ./internal/invariant
 	$(GO) test -fuzz='^FuzzCompileEval$$' -fuzztime=30s ./internal/policy
+	$(GO) test -fuzz='^FuzzDisjointPaths$$' -fuzztime=30s ./internal/routing/srcroute
 
 # Property-based invariant sweeps: seeded random topologies, traffic, and
 # fault plans run with the runtime invariant checker armed (see
@@ -152,6 +153,21 @@ invariant-sweep:
 	$(GO) run ./cmd/tussle-check -trials 500 -seed 7
 	$(GO) run ./cmd/tussle-check -sharded -trials 500 -seed 42
 	$(GO) run ./cmd/tussle-check -sharded -trials 500 -seed 7
+
+# Multipath-chaos smoke: both multipath experiments (E29 availability
+# under the standard fault schedule, E30 partition reconvergence) must
+# render byte-identically at -parallel 1 and 4 for two seeds — the
+# striped data plane's determinism pinned end to end — followed by
+# invariant sweeps with every generated transfer forced onto the
+# multipath sender.
+multipath-chaos:
+	@for seed in 42 7; do \
+	  $(GO) run ./cmd/tussle-bench -seed $$seed -only E29,E30 -parallel 1 > /tmp/mp-seq.out || exit 1; \
+	  $(GO) run ./cmd/tussle-bench -seed $$seed -only E29,E30 -parallel 4 > /tmp/mp-par.out || exit 1; \
+	  cmp /tmp/mp-seq.out /tmp/mp-par.out || { echo "multipath-chaos: seed $$seed E29/E30 digest diverged across -parallel 1/4"; exit 1; }; \
+	  $(GO) run ./cmd/tussle-check -multipath -trials 300 -seed $$seed || exit 1; \
+	done; \
+	echo "multipath-chaos: E29/E30 digests identical across -parallel 1/4 (seeds 42+7); forced-multipath sweeps clean"
 
 # Per-package statement coverage (the CI cover gate publishes this table
 # in the job summary).
@@ -164,4 +180,4 @@ cover:
 golden-check: experiments
 	git diff --exit-code EXPERIMENTS.md
 
-ci: vet build test race bench-smoke fuzz-smoke golden-check invariant-sweep shard-determinism scale-smoke wire-smoke policy-smoke
+ci: vet build test race bench-smoke fuzz-smoke golden-check invariant-sweep multipath-chaos shard-determinism scale-smoke wire-smoke policy-smoke

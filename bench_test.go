@@ -56,13 +56,19 @@ func BenchmarkE26OverlayVsIntegrated(b *testing.B) {
 }
 func BenchmarkE27Availability(b *testing.B) { benchExperiment(b, experiments.E27Availability) }
 func BenchmarkE28Degradation(b *testing.B)  { benchExperiment(b, experiments.E28Degradation) }
+func BenchmarkE29MultipathAvailability(b *testing.B) {
+	benchExperiment(b, experiments.E29MultipathAvailability)
+}
+func BenchmarkE30PartitionReconvergence(b *testing.B) {
+	benchExperiment(b, experiments.E30PartitionReconvergence)
+}
 
 // BenchmarkAllExperiments runs the full suite as one unit — the shape of
 // a complete evaluation regeneration.
 func BenchmarkAllExperiments(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if rs := experiments.All(benchSeed); len(rs) != 28 {
+		if rs := experiments.All(benchSeed); len(rs) != 30 {
 			b.Fatal("suite incomplete")
 		}
 	}
@@ -75,7 +81,7 @@ func BenchmarkAllExperiments(b *testing.B) {
 func BenchmarkAllExperimentsParallel(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if rs := experiments.RunAll(benchSeed, experiments.Options{}); len(rs) != 28 {
+		if rs := experiments.RunAll(benchSeed, experiments.Options{}); len(rs) != 30 {
 			b.Fatal("suite incomplete")
 		}
 	}

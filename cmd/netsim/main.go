@@ -27,6 +27,13 @@
 // Scale mode prints a deterministic digest on stdout — identical bytes
 // for the same seed at any shard count, sequential or parallel — and
 // timing on stderr, so CI can diff the digest across shard counts.
+//
+// Multipath mode (-multipath) stripes a reliable transfer over
+// link-disjoint source routes between the best-connected stub pair of
+// the generated hierarchy, with a pluggable selection strategy, and
+// reports each path's fate (RTT/loss estimates, demotions, promotions):
+//
+//	netsim -multipath -mpstrategy loss-adaptive -faultplan plan.json
 package main
 
 import (
@@ -48,6 +55,7 @@ import (
 	"repro/internal/scale"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/transport/multipath"
 )
 
 func main() {
@@ -63,7 +71,15 @@ func main() {
 	shards := flag.Int("shards", 1, "scale mode: shard count")
 	parallel := flag.Bool("parallel", true, "scale mode: run shards in parallel epochs (off = lockstep)")
 	chaosOn := flag.Bool("chaos", false, "scale mode: inject a deterministic fault schedule")
+	useMultipath := flag.Bool("multipath", false, "multipath mode: stripe a reliable transfer over disjoint source routes")
+	mpStrategy := flag.String("mpstrategy", "disjointness-max", "multipath mode: path-selection strategy (shortest-k, disjointness-max, latency-weighted, loss-adaptive)")
+	mpBytes := flag.Int("mpbytes", 256<<10, "multipath mode: transfer size in bytes")
 	flag.Parse()
+
+	if *useMultipath {
+		runMultipath(*seed, *mpStrategy, *mpBytes, *faultPlan, *metricsPath)
+		return
+	}
 
 	if *nodes > 0 {
 		// -packets keeps its own default for probe mode; scale mode
@@ -293,5 +309,110 @@ func writeMetrics(reg *obs.Registry, path string) {
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "netsim: metrics: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// runMultipath is multipath mode: discover disjoint source routes
+// between the two most distant stubs of a generated hierarchy, stripe a
+// reliable transfer across them with the chosen strategy, optionally
+// replaying a chaos fault plan underneath, and report per-path fates.
+// Deterministic per seed.
+func runMultipath(seed uint64, strategy string, bytes int, faultPlan, metricsPath string) {
+	strat, err := multipath.StrategyByName(strategy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+		os.Exit(1)
+	}
+	rng := sim.NewRNG(seed)
+	g := topology.GenerateHierarchy(topology.DefaultHierarchy(), rng)
+	sched := sim.NewScheduler()
+	net := netsim.New(sched, g)
+
+	var reg *obs.Registry
+	if metricsPath != "" {
+		reg = obs.NewRegistry()
+		sched.AttachObs(reg)
+		net.AttachObs(reg, nil)
+	}
+
+	// Path-vector gives every node a fallback table (degenerate direct
+	// paths and any unrouted traffic); the source routes carry the rest.
+	pv := pathvector.New(g)
+	pv.AttachObs(reg)
+	if err := pv.Converge(); err != nil {
+		fmt.Fprintf(os.Stderr, "netsim: %v\n", err)
+		os.Exit(1)
+	}
+	for _, id := range g.NodeIDs() {
+		nd := net.Node(id)
+		nd.Route = pv.RouteFunc(id)
+		nd.HonorSourceRoutes = true
+	}
+
+	if faultPlan != "" {
+		buf, err := os.ReadFile(faultPlan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: faultplan: %v\n", err)
+			os.Exit(1)
+		}
+		plan, err := chaos.ParsePlan(buf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: faultplan: %v\n", err)
+			os.Exit(1)
+		}
+		eng := chaos.New(net, seed)
+		eng.AttachObs(reg)
+		if err := eng.Schedule(plan); err != nil {
+			fmt.Fprintf(os.Stderr, "netsim: faultplan: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fault plan %q: %d events\n", plan.Name, len(plan.Events))
+	}
+
+	// Pick the stub pair with the richest disjoint-path set (first such
+	// pair in ID order — deterministic), so the demo actually stripes.
+	stubs := g.Stubs()
+	src, dst, best := stubs[0], stubs[len(stubs)-1], 0
+	for _, a := range stubs {
+		for _, b := range stubs {
+			if a >= b {
+				continue
+			}
+			if n := len(srcroute.DisjointPaths(g, a, b, 4, 8)); n > best {
+				src, dst, best = a, b, n
+			}
+		}
+	}
+	payload := make([]byte, bytes)
+	for i := range payload {
+		payload[i] = byte(i*11 + 3)
+	}
+	rcv := multipath.InstallReceiver(net, dst, 7000)
+	cfg := multipath.DefaultConfig()
+	cfg.Seed = seed
+	snd := multipath.NewSender(net, strat, src, dst, 7000, payload, cfg)
+	if reg != nil {
+		snd.AttachObs(reg)
+	}
+	snd.Start()
+	sched.Run()
+
+	st := snd.Stats()
+	fmt.Printf("multipath %s: %d -> %d, %d bytes in %d segments over %d paths\n",
+		strat.Name(), src, dst, bytes, st.Segments, st.PathsUsed)
+	for _, p := range snd.Paths() {
+		fmt.Printf("  path %d %v: %s, sent %d acked %d retx %d timeouts %d demote %d promote %d srtt %v loss %.3f\n",
+			p.Index, p.Cand.Path, p.State, p.Sent, p.Acked, p.Retx, p.Timeouts,
+			p.Demotions, p.Promotions, p.SRTT, p.Loss)
+	}
+	switch {
+	case st.Done:
+		fmt.Printf("done in %v: sent %d, retx %d, probes %d, demotions %d, promotions %d, dups absorbed %d\n",
+			st.Elapsed, st.Sent, st.Retransmissions, st.Probes, st.Demotions, st.Promotions, rcv.Dups)
+	case st.Failed:
+		fmt.Printf("FAILED after %v: %s\n", st.Elapsed, st.FailReason)
+	}
+	if metricsPath != "" {
+		writeMetrics(reg, metricsPath)
 	}
 }

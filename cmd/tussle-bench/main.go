@@ -1,4 +1,4 @@
-// Command tussle-bench regenerates the full evaluation suite (E1–E28,
+// Command tussle-bench regenerates the full evaluation suite (E1–E30,
 // indexed in DESIGN.md) and prints each experiment's table and finding.
 //
 // Usage:
@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -95,16 +96,21 @@ func benchSuite(seed uint64, iters, parallelism int) suiteBench {
 		// delta around a run occasionally picks up a stray runtime
 		// allocation (GC bookkeeping, background timers), so the minimum —
 		// not the mean — is the reproducible figure the zero-tolerance
-		// alloc gate needs.
+		// alloc gate needs. GC is paused for the measured region: a
+		// collection mid-run empties every sync.Pool at a timing-dependent
+		// point, and the refills show up as a few spurious allocations that
+		// the min cannot reliably filter on allocation-heavy experiments.
 		var minNs int64
 		var minAllocs, minBytes uint64
 		for i := 0; i < iters; i++ {
 			runtime.GC()
+			gcPct := debug.SetGCPercent(-1)
 			runtime.ReadMemStats(&m0)
 			t0 := time.Now()
 			exp.Run(seed)
 			el := time.Since(t0).Nanoseconds()
 			runtime.ReadMemStats(&m1)
+			debug.SetGCPercent(gcPct)
 			if i == 0 || el < minNs {
 				minNs = el
 			}

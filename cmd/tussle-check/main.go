@@ -10,6 +10,7 @@
 //	tussle-check -invariants conservation,loop-free   # arm a subset
 //	tussle-check -repro repro.json                    # write first shrunk repro
 //	tussle-check -replay repro.json                   # re-run a reproducer
+//	tussle-check -multipath -trials 300               # stress the multipath data plane
 package main
 
 import (
@@ -36,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxShrink  = fs.Int("maxshrink", 400, "max candidate runs per shrink")
 		reproPath  = fs.String("repro", "", "write the first shrunk reproducer to this file")
 		replayPath = fs.String("replay", "", "replay a reproducer file instead of sweeping")
+		multi      = fs.Bool("multipath", false, "force every generated transfer onto the multipath sender")
 		sharded    = fs.Bool("sharded", false, "sweep sharded scale scenarios (checker attached across shards)")
 		shards     = fs.Int("shards", 0, "with -sharded: pin the shard count (0 rotates 2/4/8)")
 		verbose    = fs.Bool("v", false, "print per-failure violation details")
@@ -77,11 +79,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	res := invariant.Sweep(invariant.Config{
-		Trials:        *trials,
-		Seed:          *seed,
-		Invariants:    enabled,
-		Shrink:        *shrink,
-		MaxShrinkRuns: *maxShrink,
+		Trials:         *trials,
+		Seed:           *seed,
+		Invariants:     enabled,
+		Shrink:         *shrink,
+		MaxShrinkRuns:  *maxShrink,
+		ForceMultipath: *multi,
 	})
 	if res.Clean() {
 		fmt.Fprintf(stdout, "tussle-check: %d trials clean (seed %d, %d invariants armed)\n",

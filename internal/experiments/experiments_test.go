@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/transport/multipath"
 )
 
 const testSeed = 42
@@ -511,9 +513,53 @@ func TestE28GoldSurvivesDegradationAndAttestationRejectsBurst(t *testing.T) {
 	}
 }
 
+func TestE29EveryStrategyBeatsSinglePath(t *testing.T) {
+	r := E29MultipathAvailability(testSeed)
+	single := r.MustGet("single-path", "availability")
+	if single <= 0 || single >= 1 {
+		t.Fatalf("single-path availability %v should be partial under the fault schedule", single)
+	}
+	for _, strat := range multipath.Strategies() {
+		a := r.MustGet(strat.Name(), "availability")
+		if a <= single {
+			t.Fatalf("%s availability %v not strictly above single-path %v", strat.Name(), a, single)
+		}
+		// Goodput is not the criterion (latency-weighted deliberately
+		// keeps favoring the fast path that keeps dying), but no
+		// strategy should pay more than a small goodput tax for its
+		// availability.
+		if r.MustGet(strat.Name(), "delivered-kb") < 0.9*r.MustGet("single-path", "delivered-kb") {
+			t.Fatalf("%s goodput collapsed relative to single-path", strat.Name())
+		}
+		if r.MustGet(strat.Name(), "demotions") <= 0 {
+			t.Fatalf("%s never demoted a path under the fault schedule", strat.Name())
+		}
+	}
+}
+
+func TestE30PartitionCompletesIntactOnSurvivors(t *testing.T) {
+	r := E30PartitionReconvergence(testSeed)
+	for _, strat := range multipath.Strategies() {
+		name := strat.Name()
+		if r.MustGet(name, "done") != 1 {
+			t.Fatalf("%s did not complete across the partition", name)
+		}
+		if r.MustGet(name, "stream-intact") != 1 {
+			t.Fatalf("%s delivered a corrupted or duplicated stream", name)
+		}
+		reconv := r.MustGet(name, "reconv-ms")
+		if reconv <= 0 || reconv > 1000 {
+			t.Fatalf("%s reconvergence %vms implausible", name, reconv)
+		}
+		if f := r.MustGet(name, "fairness"); f <= 0.5 || f > 1 {
+			t.Fatalf("%s survivor fairness %v out of range", name, f)
+		}
+	}
+}
+
 func TestAllExperimentsRunAndRender(t *testing.T) {
 	results := All(testSeed)
-	if len(results) != 28 {
+	if len(results) != 30 {
 		t.Fatalf("All returned %d results", len(results))
 	}
 	seen := map[string]bool{}

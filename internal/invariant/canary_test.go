@@ -8,7 +8,6 @@ import (
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/topology"
-	"repro/internal/transport"
 )
 
 // The canary tests are the mutate-and-detect suite: each one deliberately
@@ -207,9 +206,9 @@ func TestCanaryReach(t *testing.T) {
 // Corrupting the receiver's reassembled stream must break the transport
 // prefix invariant.
 func TestCanaryTransport(t *testing.T) {
-	hk := &hooks{corruptStream: func(r *transport.Receiver) {
-		if len(r.Data) > 0 {
-			r.Data[0] ^= 0xff
+	hk := &hooks{corruptStream: func(data []byte) {
+		if len(data) > 0 {
+			data[0] ^= 0xff
 		}
 	}}
 	runCanary(t, Transport, hk, func(sc *Scenario) bool { return sc.Transfer != nil })

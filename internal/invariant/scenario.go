@@ -24,6 +24,11 @@ type TransferSpec struct {
 	Src   topology.NodeID `json:"src"`
 	Dst   topology.NodeID `json:"dst"`
 	Bytes int             `json:"bytes"`
+	// Multipath, when ≥ 2, runs the transfer over the multipath sender
+	// with that many requested paths (strategy derived deterministically
+	// from the value); 0 keeps the single-path transport. omitempty
+	// keeps old reproducers parseable.
+	Multipath int `json:"multipath,omitempty"`
 }
 
 // Scenario is one fully-specified property-based trial: a topology (by
@@ -114,6 +119,9 @@ func (sc *Scenario) Validate() error {
 		}
 		if sc.Transfer.Bytes < 1 || sc.Transfer.Bytes > 1<<20 {
 			return fmt.Errorf("invariant: transfer bytes %d out of range", sc.Transfer.Bytes)
+		}
+		if mp := sc.Transfer.Multipath; mp != 0 && (mp < 2 || mp > 8) {
+			return fmt.Errorf("invariant: transfer multipath %d out of range", mp)
 		}
 	}
 	return nil
@@ -289,6 +297,12 @@ func Generate(seed uint64) *Scenario {
 			dst = endpoints[rng.Intn(len(endpoints))]
 		}
 		sc.Transfer = &TransferSpec{Src: src, Dst: dst, Bytes: 1024 + rng.Intn(4096)}
+	}
+	// Drawn after everything else so scenarios generated by older seeds
+	// are unchanged: some transfers ride the multipath sender, cycling
+	// through its strategies (value mod strategy count picks one).
+	if sc.Transfer != nil && rng.Bool(0.35) {
+		sc.Transfer.Multipath = 2 + rng.Intn(4)
 	}
 	return sc
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/transport"
+	"repro/internal/transport/multipath"
 )
 
 func msToTime(ms float64) sim.Time { return sim.Time(ms * float64(sim.Millisecond)) }
@@ -35,8 +36,9 @@ type hooks struct {
 	// beforeFinish runs after the scheduler drains, before route walks
 	// and conservation close-out.
 	beforeFinish func(net *netsim.Network, c *Checker)
-	// corruptStream tampers with the transfer receiver's reassembled data.
-	corruptStream func(r *transport.Receiver)
+	// corruptStream tampers with the transfer receiver's reassembled
+	// stream (single-path or multipath — it sees the raw bytes).
+	corruptStream func(data []byte)
 	// mutateSnap tampers with one side of the merge-commutativity
 	// comparison.
 	mutateSnap func(s *obs.Snapshot)
@@ -137,24 +139,52 @@ func runScenario(sc *Scenario, enabled map[string]bool, hk *hooks) *trialResult 
 		sched.At(msToTime(tr.AtMs), func() { traces[i] = net.Send(tr.Src, data) })
 	}
 
-	// Optional reliable transfer.
-	var snd *transport.Sender
-	var rcv *transport.Receiver
+	// Optional reliable transfer — single-path transport, or the
+	// multipath sender when the spec asks for it (the stream-prefix
+	// invariant below holds for both, interleaved paths included).
+	var xferState func() (done, failed bool)
+	var rcvData func() []byte
 	var sent []byte
 	if sp := sc.Transfer; sp != nil {
 		sent = make([]byte, sp.Bytes)
 		for i := range sent {
 			sent[i] = byte(i*7 + 13)
 		}
-		rcv = transport.InstallReceiver(net, sp.Dst, 7777)
-		cfg := transport.Config{
-			Window: 4, SegmentSize: 256,
-			RTO: 20 * sim.Millisecond, MaxRetries: 8,
-			Backoff: 2, MaxRTO: 200 * sim.Millisecond,
-			JitterFrac: 0.1, Seed: sc.Seed,
+		if sp.Multipath >= 2 {
+			// Source-route forwarding is the multipath data plane; the
+			// sweep grants it everywhere, leaving the rerouter tables as
+			// the fallback (and the ACK return path on direct links).
+			for _, id := range net.Graph.NodeIDs() {
+				net.Node(id).HonorSourceRoutes = true
+			}
+			strats := multipath.Strategies()
+			strat := strats[sp.Multipath%len(strats)]
+			mrcv := multipath.InstallReceiver(net, sp.Dst, 7777)
+			mcfg := multipath.Config{
+				Paths: sp.Multipath, MaxPathLen: 8,
+				Window: 4, SegmentSize: 256,
+				RTO: 20 * sim.Millisecond, MaxRetries: 8,
+				Backoff: 2, MaxRTO: 200 * sim.Millisecond,
+				JitterFrac: 0.1, Seed: sc.Seed,
+				DemoteAfter: 2, ProbeEvery: 50 * sim.Millisecond, MaxProbes: 6,
+			}
+			msnd := multipath.NewSender(net, strat, sp.Src, sp.Dst, 7777, sent, mcfg)
+			sched.At(1*sim.Millisecond, msnd.Start)
+			xferState = func() (bool, bool) { return msnd.Done(), msnd.Failed() }
+			rcvData = func() []byte { return mrcv.Data }
+		} else {
+			rcv := transport.InstallReceiver(net, sp.Dst, 7777)
+			cfg := transport.Config{
+				Window: 4, SegmentSize: 256,
+				RTO: 20 * sim.Millisecond, MaxRetries: 8,
+				Backoff: 2, MaxRTO: 200 * sim.Millisecond,
+				JitterFrac: 0.1, Seed: sc.Seed,
+			}
+			snd := transport.NewSender(net, sp.Src, packet.MakeAddr(uint16(sp.Dst), 1), 7777, sent, cfg)
+			sched.At(1*sim.Millisecond, snd.Start)
+			xferState = func() (bool, bool) { return snd.Done(), snd.Failed() }
+			rcvData = func() []byte { return rcv.Data }
 		}
-		snd = transport.NewSender(net, sp.Src, packet.MakeAddr(uint16(sp.Dst), 1), 7777, sent, cfg)
-		sched.At(1*sim.Millisecond, snd.Start)
 	}
 
 	// Heal-reachability probes: fired after the restoration tail plus a
@@ -224,21 +254,24 @@ func runScenario(sc *Scenario, enabled map[string]bool, hk *hooks) *trialResult 
 		}
 	}
 
-	// Transport stream invariant.
-	if snd != nil && enabled[Transport] {
+	// Transport stream invariant (prefix + termination), identical for
+	// the single-path and multipath senders: interleaved paths and
+	// duplicate-bearing probes must still reassemble to an exact prefix.
+	if xferState != nil && enabled[Transport] {
 		if hk.corruptStream != nil {
-			hk.corruptStream(rcv)
+			hk.corruptStream(rcvData())
 		}
-		st := snd.Stats()
+		done, failed := xferState()
+		data := rcvData()
 		now := int64(sched.Now())
-		if !st.Done && !st.Failed {
+		if !done && !failed {
 			checker.Report(Transport, "transfer neither completed nor failed after the scheduler drained", now)
 		}
-		if len(rcv.Data) > len(sent) || !bytes.Equal(rcv.Data, sent[:len(rcv.Data)]) {
+		if len(data) > len(sent) || !bytes.Equal(data, sent[:len(data)]) {
 			checker.Report(Transport, fmt.Sprintf("received stream (%d bytes) is not an in-order prefix of the sent stream (%d bytes)",
-				len(rcv.Data), len(sent)), now)
-		} else if st.Done && len(rcv.Data) != len(sent) {
-			checker.Report(Transport, fmt.Sprintf("transfer reported done but receiver holds %d of %d bytes", len(rcv.Data), len(sent)), now)
+				len(data), len(sent)), now)
+		} else if done && len(data) != len(sent) {
+			checker.Report(Transport, fmt.Sprintf("transfer reported done but receiver holds %d of %d bytes", len(data), len(sent)), now)
 		}
 	}
 
@@ -303,6 +336,11 @@ type Config struct {
 	// MaxRepros caps how many failures are shrunk (0 = 3); later
 	// failures are still recorded, unshrunk.
 	MaxRepros int
+	// ForceMultipath upgrades every generated transfer to the multipath
+	// sender (path count derived from the trial seed), concentrating the
+	// sweep on the striped data plane instead of the ~35% of transfers
+	// that draw it naturally.
+	ForceMultipath bool
 }
 
 // Failure is one failed trial.
@@ -363,6 +401,9 @@ func Sweep(cfg Config) *Result {
 	for i := 0; i < cfg.Trials; i++ {
 		seed := trialSeed(cfg.Seed, i)
 		sc := Generate(seed)
+		if cfg.ForceMultipath && sc.Transfer != nil && sc.Transfer.Multipath == 0 {
+			sc.Transfer.Multipath = 2 + int(seed%4)
+		}
 		tr := runScenario(sc, enabled, nil)
 		regs = append(regs, tr.reg)
 		if len(tr.violations) == 0 {

@@ -1,0 +1,118 @@
+package srcroute
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// DisjointPaths finds up to k mutually link-disjoint paths from src to
+// dst, each at most maxLen nodes, ordered by discovery (non-decreasing
+// latency). It is the route-discovery half of "design for choice"
+// (§IV-B): a multipath sender that stripes over link-disjoint routes
+// keeps a live path under any single-link failure the disjoint set
+// covers.
+//
+// The search is greedy successive-shortest-path extraction: Dijkstra
+// over the links not yet claimed by an earlier path, claim the winning
+// path's links, repeat. Greedy extraction is not guaranteed to find the
+// maximum disjoint set on adversarial graphs, but it is deterministic,
+// each successive path is the shortest the remaining graph admits, and
+// on provider hierarchies it finds the disjoint set that exists. When
+// fewer than k disjoint paths exist the result is simply shorter —
+// callers degrade to the paths they get, down to one (or zero when src
+// and dst are disconnected, equal, or absent from the graph).
+func DisjointPaths(g *topology.Graph, src, dst topology.NodeID, k, maxLen int) []Candidate {
+	if maxLen <= 0 {
+		maxLen = 8
+	}
+	if k <= 0 {
+		k = 2
+	}
+	if src == dst {
+		return nil
+	}
+	if _, ok := g.Nodes[src]; !ok {
+		return nil
+	}
+	if _, ok := g.Nodes[dst]; !ok {
+		return nil
+	}
+	claimed := map[[2]topology.NodeID]bool{}
+	var out []Candidate
+	for len(out) < k {
+		path, lat := shortestAvoiding(g, src, dst, claimed)
+		if path == nil || len(path) > maxLen {
+			// Removing links only lengthens shortest paths, so the first
+			// miss (disconnected or over the length bound) is final.
+			break
+		}
+		out = append(out, Candidate{Path: path, Latency: lat})
+		for i := 1; i < len(path); i++ {
+			claimed[linkKey(path[i-1], path[i])] = true
+		}
+	}
+	return out
+}
+
+// linkKey is the undirected link identity.
+func linkKey(a, b topology.NodeID) [2]topology.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]topology.NodeID{a, b}
+}
+
+// shortestAvoiding runs Dijkstra from src to dst over the links not in
+// claimed, minimizing summed latency. Deterministic: the frontier node
+// with the smallest (distance, id) settles next, and relaxation is
+// strictly-improving, so equal-cost ties always resolve the same way.
+func shortestAvoiding(g *topology.Graph, src, dst topology.NodeID, claimed map[[2]topology.NodeID]bool) ([]topology.NodeID, sim.Time) {
+	const inf = sim.Time(math.MaxInt64)
+	dist := map[topology.NodeID]sim.Time{src: 0}
+	prev := map[topology.NodeID]topology.NodeID{}
+	done := map[topology.NodeID]bool{}
+	for {
+		cur, best, found := topology.NodeID(0), inf, false
+		for n, d := range dist {
+			if done[n] {
+				continue
+			}
+			if !found || d < best || (d == best && n < cur) {
+				cur, best, found = n, d, true
+			}
+		}
+		if !found {
+			return nil, 0 // frontier exhausted: dst unreachable
+		}
+		if cur == dst {
+			break
+		}
+		done[cur] = true
+		for _, nb := range g.Neighbors(cur) {
+			if done[nb] || claimed[linkKey(cur, nb)] {
+				continue
+			}
+			l, ok := g.LinkBetween(cur, nb)
+			if !ok {
+				continue
+			}
+			if d, seen := dist[nb]; !seen || best+l.Latency < d {
+				dist[nb] = best + l.Latency
+				prev[nb] = cur
+			}
+		}
+	}
+	var path []topology.NodeID
+	for at := dst; ; at = prev[at] {
+		path = append(path, at)
+		if at == src {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[dst]
+}

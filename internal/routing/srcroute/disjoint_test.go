@@ -1,0 +1,197 @@
+package srcroute
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// checkDisjointSet verifies the structural contract of a DisjointPaths
+// result against its graph: valid simple src→dst paths, mutually
+// link-disjoint, latencies correctly summed and non-decreasing.
+func checkDisjointSet(t *testing.T, g *topology.Graph, src, dst topology.NodeID, cands []Candidate, k, maxLen int) {
+	t.Helper()
+	if len(cands) > k {
+		t.Fatalf("got %d paths for k=%d", len(cands), k)
+	}
+	used := map[[2]topology.NodeID]bool{}
+	var prevLat sim.Time
+	for ci, c := range cands {
+		if len(c.Path) < 2 || len(c.Path) > maxLen {
+			t.Fatalf("path %d has %d nodes (maxLen %d): %v", ci, len(c.Path), maxLen, c.Path)
+		}
+		if c.Path[0] != src || c.Path[len(c.Path)-1] != dst {
+			t.Fatalf("path %d endpoints wrong: %v", ci, c.Path)
+		}
+		seen := map[topology.NodeID]bool{}
+		var lat sim.Time
+		for i, n := range c.Path {
+			if seen[n] {
+				t.Fatalf("path %d revisits node %d: %v", ci, n, c.Path)
+			}
+			seen[n] = true
+			if i == 0 {
+				continue
+			}
+			l, adj := g.LinkBetween(c.Path[i-1], n)
+			if !adj {
+				t.Fatalf("path %d uses non-link %d-%d", ci, c.Path[i-1], n)
+			}
+			lat += l.Latency
+			key := linkKey(c.Path[i-1], n)
+			if used[key] {
+				t.Fatalf("link %v shared across paths: %v", key, cands)
+			}
+			used[key] = true
+		}
+		if lat != c.Latency {
+			t.Fatalf("path %d latency %v, links sum to %v", ci, c.Latency, lat)
+		}
+		if c.Latency < prevLat {
+			t.Fatalf("latencies not non-decreasing: %v after %v", c.Latency, prevLat)
+		}
+		prevLat = c.Latency
+	}
+}
+
+func TestDisjointPathsDiamond(t *testing.T) {
+	g := diamond()
+	cands := DisjointPaths(g, 1, 4, 4, 8)
+	if len(cands) != 2 {
+		t.Fatalf("diamond has 2 disjoint paths, got %d: %v", len(cands), cands)
+	}
+	checkDisjointSet(t, g, 1, 4, cands, 4, 8)
+	// Cheapest first: via 3 (2ms), then via 2 (4ms).
+	if cands[0].Path[1] != 3 || cands[1].Path[1] != 2 {
+		t.Fatalf("extraction order wrong: %v", cands)
+	}
+}
+
+func TestDisjointPathsDeterministic(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		g := topology.GenerateHierarchy(topology.DefaultHierarchy(), sim.NewRNG(seed))
+		stubs := g.Stubs()
+		src, dst := stubs[0], stubs[len(stubs)-1]
+		first := DisjointPaths(g, src, dst, 4, 8)
+		for i := 0; i < 5; i++ {
+			again := DisjointPaths(g, src, dst, 4, 8)
+			if !reflect.DeepEqual(first, again) {
+				t.Fatalf("seed %d run %d diverged:\n%v\n%v", seed, i, first, again)
+			}
+		}
+		checkDisjointSet(t, g, src, dst, first, 4, 8)
+	}
+}
+
+func TestDisjointPathsKReductionOnSparseGraph(t *testing.T) {
+	// A chain admits exactly one path no matter how many are asked for.
+	g := topology.Linear(5, sim.Millisecond)
+	cands := DisjointPaths(g, 1, 5, 8, 8)
+	if len(cands) != 1 {
+		t.Fatalf("chain should reduce k to 1, got %d", len(cands))
+	}
+	checkDisjointSet(t, g, 1, 5, cands, 8, 8)
+	// The diamond caps at 2 even for k=8.
+	if cands := DisjointPaths(diamond(), 1, 4, 8, 8); len(cands) != 2 {
+		t.Fatalf("diamond should reduce k to 2, got %d", len(cands))
+	}
+}
+
+func TestDisjointPathsRespectsMaxLen(t *testing.T) {
+	g := topology.Linear(6, sim.Millisecond)
+	if cands := DisjointPaths(g, 1, 6, 2, 3); len(cands) != 0 {
+		t.Fatalf("maxLen=3 should preclude the 6-node chain, got %v", cands)
+	}
+	if cands := DisjointPaths(g, 1, 6, 2, 6); len(cands) != 1 {
+		t.Fatalf("maxLen=6 should admit the chain, got %d", len(cands))
+	}
+}
+
+func TestDisjointPathsDisconnectedAndDegenerate(t *testing.T) {
+	g := topology.NewGraph()
+	g.AddNode(1, topology.Transit, 1)
+	g.AddNode(2, topology.Transit, 1)
+	g.AddNode(3, topology.Stub, 2)
+	g.AddLink(1, 2, topology.PeerOf, sim.Millisecond, 1)
+	// Node 3 is isolated.
+	if cands := DisjointPaths(g, 1, 3, 2, 8); cands != nil {
+		t.Fatalf("disconnected pair returned %v", cands)
+	}
+	if cands := DisjointPaths(g, 1, 1, 2, 8); cands != nil {
+		t.Fatalf("src==dst returned %v", cands)
+	}
+	if cands := DisjointPaths(g, 1, 99, 2, 8); cands != nil {
+		t.Fatalf("absent dst returned %v", cands)
+	}
+	if cands := DisjointPaths(g, 99, 1, 2, 8); cands != nil {
+		t.Fatalf("absent src returned %v", cands)
+	}
+}
+
+// FuzzDisjointPaths drives the search over generated hierarchies with
+// arbitrary endpoints and bounds, checking the structural contract:
+// never panics, ≤k simple valid paths, mutual link-disjointness,
+// non-decreasing latency, and endpoints honored.
+func FuzzDisjointPaths(f *testing.F) {
+	f.Add(uint64(42), uint8(0), uint8(13), uint8(3), uint8(8))
+	f.Add(uint64(7), uint8(2), uint8(5), uint8(1), uint8(4))
+	f.Add(uint64(1), uint8(9), uint8(9), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, seed uint64, srcIdx, dstIdx, k, maxLen uint8) {
+		g := topology.GenerateHierarchy(topology.DefaultHierarchy(), sim.NewRNG(seed))
+		ids := g.NodeIDs()
+		src := ids[int(srcIdx)%len(ids)]
+		dst := ids[int(dstIdx)%len(ids)]
+		kk, ml := int(k%12), int(maxLen%16)
+		cands := DisjointPaths(g, src, dst, kk, ml)
+		if src == dst && cands != nil {
+			t.Fatalf("src==dst returned %v", cands)
+		}
+		effK, effML := kk, ml
+		if effK <= 0 {
+			effK = 2
+		}
+		if effML <= 0 {
+			effML = 8
+		}
+		if len(cands) > effK {
+			t.Fatalf("%d paths for k=%d", len(cands), effK)
+		}
+		used := map[[2]topology.NodeID]bool{}
+		var prevLat sim.Time
+		for ci, c := range cands {
+			if len(c.Path) < 2 || len(c.Path) > effML {
+				t.Fatalf("path %d length %d out of bounds", ci, len(c.Path))
+			}
+			if c.Path[0] != src || c.Path[len(c.Path)-1] != dst {
+				t.Fatalf("path %d endpoints wrong: %v", ci, c.Path)
+			}
+			seen := map[topology.NodeID]bool{}
+			var lat sim.Time
+			for i, n := range c.Path {
+				if seen[n] {
+					t.Fatalf("path %d revisits %d", ci, n)
+				}
+				seen[n] = true
+				if i == 0 {
+					continue
+				}
+				l, adj := g.LinkBetween(c.Path[i-1], n)
+				if !adj {
+					t.Fatalf("path %d uses non-link %d-%d", ci, c.Path[i-1], n)
+				}
+				lat += l.Latency
+				key := linkKey(c.Path[i-1], n)
+				if used[key] {
+					t.Fatalf("link %v shared across paths", key)
+				}
+				used[key] = true
+			}
+			if lat != c.Latency || c.Latency < prevLat {
+				t.Fatalf("path %d latency %v (links %v, prev %v)", ci, c.Latency, lat, prevLat)
+			}
+			prevLat = c.Latency
+		}
+	})
+}

@@ -1,0 +1,813 @@
+// Package multipath implements reliable multipath transport: a stream
+// striped across k user-discovered source routes, with per-path failure
+// detection and failover. It is the data-plane half of the paper's
+// "design for choice" prescription (§IV-B, §V-A4): where
+// internal/transport commits a transfer to whatever path the network's
+// routing tussle produces, this sender holds several link-disjoint
+// routes at once and reacts to each path's fate independently — a link
+// flap, a provider crash, or a partition kills at most the paths that
+// cross it, and the stream migrates to the survivors within a few
+// retransmission timeouts instead of stalling for the fault's duration.
+//
+// Per-path machinery, mirroring a real multipath transport in
+// miniature:
+//
+//   - RTO: per-path retransmission timeouts seeded from measured SRTT
+//     (Jacobson-style SRTT/RTTVAR from unambiguous ACK samples, Karn's
+//     rule on retransmitted segments), exponential backoff with seeded
+//     jitter;
+//   - loss: an EWMA over timeout/delivery outcomes per path, fed to
+//     loss-adaptive scheduling;
+//   - demotion: consecutive timeouts demote a path to probation, where
+//     it carries no new data;
+//   - probation probing: a demoted path is probed with duplicate
+//     copies of the lowest unacknowledged segment (harmless to the
+//     receiver, which deduplicates) until it answers or exhausts its
+//     probe budget and is declared dead;
+//   - promotion: an ACK echoing a probation path's ID proves the path
+//     delivers again and returns it to the active set.
+//
+// ACKs echo the path ID that carried the triggering data segment in the
+// (otherwise unused) TTP Window field, and the receiver source-routes
+// each ACK back along the reverse of the arrival route, so both
+// directions of a path are exercised and credited together.
+//
+// Everything is deterministic: all randomness (jitter) derives from the
+// configured seed, all scheduling from the simulation scheduler, so the
+// same seed and fault plan reproduce byte-identical stats and metrics.
+package multipath
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/routing/srcroute"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Config tunes a multipath transfer.
+type Config struct {
+	// Paths is the number of concurrent paths to request from the
+	// strategy (strategies may select fewer, or more for
+	// disjointness-max).
+	Paths int
+	// MaxPathLen bounds discovered paths in nodes.
+	MaxPathLen int
+	// Window is the transfer-wide sending window in segments.
+	Window int
+	// SegmentSize is payload bytes per segment.
+	SegmentSize int
+	// RTO is the floor retransmission timeout; per-path timeouts use
+	// max(RTO, SRTT+4·RTTVAR) once a path has RTT samples.
+	RTO sim.Time
+	// MaxRetries gives up on the transfer after this many
+	// retransmissions of a single segment.
+	MaxRetries int
+	// Backoff multiplies the timeout per successive retransmission of a
+	// segment; MaxRTO caps it; JitterFrac stretches each timeout by a
+	// seeded uniform factor in [1, 1+JitterFrac).
+	Backoff    float64
+	MaxRTO     sim.Time
+	JitterFrac float64
+	// DemoteAfter is the consecutive-timeout count that demotes a path
+	// to probation.
+	DemoteAfter int
+	// ProbeEvery is the probation probe interval; MaxProbes unanswered
+	// probes declare the path dead.
+	ProbeEvery sim.Time
+	MaxProbes  int
+	// Seed drives the jitter RNG (mixed with endpoints, as in
+	// transport.Config).
+	Seed uint64
+	// ContentType declares what the stream carries (TTP.Next).
+	ContentType packet.LayerType
+}
+
+// DefaultConfig mirrors transport.DefaultConfig with multipath knobs:
+// three paths, a demotion trigger fast enough to migrate within two
+// RTOs, and probing that revives a healed path in ~150ms.
+func DefaultConfig() Config {
+	return Config{
+		Paths: 3, MaxPathLen: 8, Window: 16, SegmentSize: 512,
+		RTO: 60 * sim.Millisecond, MaxRetries: 30,
+		Backoff: 2, MaxRTO: sim.Second, JitterFrac: 0.1,
+		DemoteAfter: 2, ProbeEvery: 150 * sim.Millisecond, MaxProbes: 12,
+		ContentType: packet.LayerTypeRaw,
+	}
+}
+
+// PathState is a path's position in the demotion state machine.
+type PathState uint8
+
+const (
+	// PathActive paths carry new data.
+	PathActive PathState = iota
+	// PathProbation paths carry only probes until one is answered.
+	PathProbation
+	// PathDead paths exhausted their probe budget.
+	PathDead
+)
+
+// String renders the state for stats output.
+func (st PathState) String() string {
+	switch st {
+	case PathActive:
+		return "active"
+	case PathProbation:
+		return "probation"
+	default:
+		return "dead"
+	}
+}
+
+// Path is one source route's live state. Fields are exported for
+// experiments and stats snapshots; they are owned by the sender and
+// must not be mutated elsewhere.
+type Path struct {
+	// Index is the path's position in the sender's set (and its on-wire
+	// ID, echoed by ACKs as Index+1).
+	Index int
+	// Cand is the discovered route.
+	Cand srcroute.Candidate
+	// State is the demotion state machine's position.
+	State PathState
+	// SRTT/RTTVar are the Jacobson estimators (zero until the first
+	// unambiguous sample).
+	SRTT   sim.Time
+	RTTVar sim.Time
+	// Loss is the EWMA loss estimate: timeouts push it toward 1,
+	// acknowledged deliveries decay it toward 0.
+	Loss float64
+	// Consec counts consecutive timeouts since the last credit.
+	Consec int
+
+	// Counters.
+	Sent, Acked, Retx, Timeouts, Probes int
+	Demotions, Promotions               int
+	AckedBytes                          int
+	LastDemoteAt, LastPromoteAt         sim.Time
+
+	opt        *packet.SourceRouteOption // prebuilt wire option (nil for direct paths)
+	probeTimer sim.EventID
+	probes     int // unanswered probes this probation
+	wrrCredit  float64
+}
+
+// Stats summarizes a transfer.
+type Stats struct {
+	// Done reports full delivery; Failed reports give-up, with
+	// FailReason saying why.
+	Done       bool
+	Failed     bool
+	FailReason string
+	// Segments is the stream's segment count; Sent counts transmissions
+	// including retransmissions and probes; Retransmissions counts
+	// re-sent data segments; Probes counts probation probes.
+	Segments, Sent, Retransmissions, Probes int
+	// Demotions/Promotions count path state transitions.
+	Demotions, Promotions int
+	// PathsUsed is the discovered path count.
+	PathsUsed int
+	// Elapsed is the transfer duration (to completion or failure).
+	Elapsed sim.Time
+}
+
+// flight is one outstanding segment's transmission state.
+type flight struct {
+	path    int
+	timer   sim.EventID
+	sentAt  sim.Time
+	retries int
+	retx    bool // retransmitted at least once: no RTT sample (Karn)
+}
+
+// Sender drives a multipath transfer.
+type Sender struct {
+	cfg   Config
+	strat Strategy
+	net   *netsim.Network
+	node  topology.NodeID
+	addr  packet.Addr
+	dst   packet.Addr
+	port  uint16
+	src   uint16
+
+	paths    []*Path
+	segments [][]byte
+	acked    uint32
+	nextSend uint32
+	inflight map[uint32]*flight
+	parked   map[uint32]bool // timed out with no active path; waiting on promotion
+	dupAcks  int
+
+	stats      Stats
+	started    sim.Time
+	failed     bool
+	failReason string
+	rng        *sim.RNG
+
+	// Pre-bound obs handles; nil (zero-cost no-ops) unless AttachObs ran.
+	obsSent, obsRetx, obsProbe       *obs.Counter
+	obsDemote, obsPromote, obsGiveup *obs.Counter
+	obsPathSent, obsPathAcked        []*obs.Counter
+}
+
+// NewSender prepares a transfer of data from node src to node dst's
+// port, striped across the paths the strategy discovers on the
+// network's topology map.
+func NewSender(net *netsim.Network, strat Strategy, src, dst topology.NodeID, port uint16, data []byte, cfg Config) *Sender {
+	if cfg.Window <= 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.Paths <= 0 {
+		cfg.Paths = 3
+	}
+	if cfg.MaxPathLen <= 0 {
+		cfg.MaxPathLen = 8
+	}
+	if cfg.DemoteAfter <= 0 {
+		cfg.DemoteAfter = 2
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 150 * sim.Millisecond
+	}
+	if cfg.MaxProbes <= 0 {
+		cfg.MaxProbes = 12
+	}
+	s := &Sender{
+		cfg: cfg, strat: strat, net: net, node: src,
+		addr: packet.MakeAddr(uint16(src), 1), dst: packet.MakeAddr(uint16(dst), 1),
+		port: port, src: 41000,
+		inflight: map[uint32]*flight{},
+		parked:   map[uint32]bool{},
+		rng:      sim.NewRNG(cfg.Seed<<20 ^ uint64(src)<<36 ^ uint64(dst)<<8 ^ uint64(port)<<16 ^ 0x6d70617468),
+	}
+	for _, c := range strat.Discover(net.Graph, src, dst, cfg.Paths, cfg.MaxPathLen) {
+		p := &Path{Index: len(s.paths), Cand: c, opt: c.Option()}
+		s.paths = append(s.paths, p)
+	}
+	for off := 0; off < len(data); off += cfg.SegmentSize {
+		end := off + cfg.SegmentSize
+		if end > len(data) {
+			end = len(data)
+		}
+		seg := make([]byte, end-off)
+		copy(seg, data[off:end])
+		s.segments = append(s.segments, seg)
+	}
+	s.stats.Segments = len(s.segments)
+	s.stats.PathsUsed = len(s.paths)
+	return s
+}
+
+// AttachObs binds the sender's metrics to a registry: aggregate
+// transfer counters plus per-path send/ack counters. Never attached
+// (the default), every handle stays nil and the hot paths cost one nil
+// check each, mirroring netsim's instrumentation.
+func (s *Sender) AttachObs(reg *obs.Registry) {
+	s.obsSent = reg.Counter("multipath.sent")
+	s.obsRetx = reg.Counter("multipath.retx")
+	s.obsProbe = reg.Counter("multipath.probes")
+	s.obsDemote = reg.Counter("multipath.demotions")
+	s.obsPromote = reg.Counter("multipath.promotions")
+	s.obsGiveup = reg.Counter("multipath.giveup")
+	s.obsPathSent = make([]*obs.Counter, len(s.paths))
+	s.obsPathAcked = make([]*obs.Counter, len(s.paths))
+	for i := range s.paths {
+		s.obsPathSent[i] = reg.Counter(fmt.Sprintf("multipath.path%d.sent", i))
+		s.obsPathAcked[i] = reg.Counter(fmt.Sprintf("multipath.path%d.acked", i))
+	}
+}
+
+// Start begins the transfer and hooks ACK reception at the sending
+// node. A sender with no discovered paths fails immediately.
+func (s *Sender) Start() {
+	s.started = s.net.Sched.Now()
+	if len(s.paths) == 0 {
+		s.fail("no paths discovered")
+		return
+	}
+	nd := s.net.Node(s.node)
+	prev := nd.Deliver
+	nd.Deliver = func(n *netsim.Node, tr *netsim.Trace, data []byte) {
+		if !s.handleAck(data) && prev != nil {
+			prev(n, tr, data)
+		}
+	}
+	s.pump()
+}
+
+// Done reports whether every segment is acknowledged.
+func (s *Sender) Done() bool { return int(s.acked) >= len(s.segments) }
+
+// Failed reports whether the transfer gave up.
+func (s *Sender) Failed() bool { return s.failed }
+
+// Stats returns the transfer summary.
+func (s *Sender) Stats() Stats {
+	st := s.stats
+	st.Done = s.Done()
+	st.Failed = s.failed
+	st.FailReason = s.failReason
+	return st
+}
+
+// Paths returns a snapshot of every path's state (copies; safe to
+// keep).
+func (s *Sender) Paths() []Path {
+	out := make([]Path, len(s.paths))
+	for i, p := range s.paths {
+		out[i] = *p
+	}
+	return out
+}
+
+func (s *Sender) contentType() packet.LayerType {
+	if s.cfg.ContentType == packet.LayerTypeNone {
+		return packet.LayerTypeRaw
+	}
+	return s.cfg.ContentType
+}
+
+// eligible returns the active paths in index order.
+func (s *Sender) eligible() []*Path {
+	var out []*Path
+	for _, p := range s.paths {
+		if p.State == PathActive {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (s *Sender) allDead() bool {
+	for _, p := range s.paths {
+		if p.State != PathDead {
+			return false
+		}
+	}
+	return true
+}
+
+// pump dispatches parked retransmissions, then fills the window with
+// new segments, as long as an active path exists.
+func (s *Sender) pump() {
+	if s.failed || s.Done() {
+		return
+	}
+	el := s.eligible()
+	if len(el) == 0 {
+		return // every path demoted; probes will call back on promotion
+	}
+	for seq := s.acked; seq < s.nextSend; seq++ {
+		if s.parked[seq] {
+			delete(s.parked, seq)
+			s.transmit(seq, s.strat.Pick(el), true)
+		}
+	}
+	for s.nextSend < uint32(len(s.segments)) && s.nextSend < s.acked+uint32(s.cfg.Window) {
+		s.transmit(s.nextSend, s.strat.Pick(el), false)
+		s.nextSend++
+	}
+}
+
+// transmit sends segment seq over path p and arms its timer. retx marks
+// a retransmission (counted, and excluded from RTT sampling).
+func (s *Sender) transmit(seq uint32, p *Path, retx bool) {
+	data, err := packet.Serialize(
+		&packet.TIP{TTL: 32, Proto: packet.LayerTypeTTP, Src: s.addr, Dst: s.dst, SourceRoute: p.opt},
+		&packet.TTP{SrcPort: s.src, DstPort: s.port, Seq: seq, Window: uint16(p.Index) + 1, Next: s.contentType()},
+		&packet.Raw{Data: s.segments[seq]})
+	if err != nil {
+		s.fail("serialize: " + err.Error())
+		return
+	}
+	fl := s.inflight[seq]
+	if fl == nil {
+		fl = &flight{}
+		s.inflight[seq] = fl
+	}
+	fl.path = p.Index
+	fl.sentAt = s.net.Sched.Now()
+	fl.retx = fl.retx || retx
+	s.stats.Sent++
+	p.Sent++
+	s.obsSent.Inc()
+	if p.Index < len(s.obsPathSent) {
+		s.obsPathSent[p.Index].Inc()
+	}
+	if retx {
+		p.Retx++
+	}
+	s.net.Send(s.node, data)
+	fl.timer = s.net.Sched.After(s.rto(p, fl.retries), func() { s.timeout(seq) })
+}
+
+// rto computes a path's timeout for a segment's attempt'th
+// retransmission: max(configured floor, SRTT+4·RTTVAR), backed off
+// exponentially and stretched by seeded jitter.
+func (s *Sender) rto(p *Path, attempt int) sim.Time {
+	d := s.cfg.RTO
+	if p.SRTT > 0 {
+		if est := p.SRTT + 4*p.RTTVar; est > d {
+			d = est
+		}
+	}
+	if s.cfg.Backoff > 1 {
+		for i := 0; i < attempt; i++ {
+			d = sim.Time(float64(d) * s.cfg.Backoff)
+			if s.cfg.MaxRTO > 0 && d >= s.cfg.MaxRTO {
+				d = s.cfg.MaxRTO
+				break
+			}
+		}
+	}
+	if s.cfg.JitterFrac > 0 {
+		d += sim.Time(s.rng.Float64() * s.cfg.JitterFrac * float64(d))
+	}
+	return d
+}
+
+// timeout handles a segment's retransmission timer: charge the path,
+// demote it when it keeps timing out, and re-send the segment over a
+// (possibly different) active path — or park it until probing revives
+// one.
+func (s *Sender) timeout(seq uint32) {
+	if s.failed || seq < s.acked {
+		return
+	}
+	fl := s.inflight[seq]
+	if fl == nil {
+		return
+	}
+	p := s.paths[fl.path]
+	p.Timeouts++
+	p.Consec++
+	p.Loss = 0.75*p.Loss + 0.25
+	if p.State == PathActive && p.Consec >= s.cfg.DemoteAfter {
+		s.demote(p)
+	}
+	fl.retries++
+	if fl.retries > s.cfg.MaxRetries {
+		s.fail(fmt.Sprintf("segment %d unacknowledged after %d retransmissions", seq, s.cfg.MaxRetries))
+		return
+	}
+	s.stats.Retransmissions++
+	s.obsRetx.Inc()
+	el := s.eligible()
+	if len(el) == 0 {
+		if s.allDead() {
+			s.fail("all paths dead")
+			return
+		}
+		s.parked[seq] = true
+		return
+	}
+	s.transmit(seq, s.strat.Pick(el), true)
+}
+
+// demote moves an active path to probation and starts probing it.
+func (s *Sender) demote(p *Path) {
+	p.State = PathProbation
+	p.Demotions++
+	p.LastDemoteAt = s.net.Sched.Now()
+	p.probes = 0
+	s.stats.Demotions++
+	s.obsDemote.Inc()
+	s.armProbe(p)
+}
+
+func (s *Sender) armProbe(p *Path) {
+	p.probeTimer = s.net.Sched.After(s.cfg.ProbeEvery, func() { s.probe(p) })
+}
+
+// probe sends a duplicate copy of the lowest unacknowledged segment
+// over a probation path. The receiver deduplicates, so the probe's only
+// effect is the ACK whose path echo proves the route delivers again.
+// MaxProbes unanswered probes declare the path dead.
+func (s *Sender) probe(p *Path) {
+	p.probeTimer = sim.EventID{}
+	if s.failed || s.Done() || p.State != PathProbation {
+		return
+	}
+	if p.probes >= s.cfg.MaxProbes {
+		p.State = PathDead
+		if s.allDead() {
+			s.fail("all paths dead")
+		}
+		return
+	}
+	p.probes++
+	p.Probes++
+	s.stats.Probes++
+	s.obsProbe.Inc()
+	seq := s.acked
+	if int(seq) >= len(s.segments) {
+		return
+	}
+	data, err := packet.Serialize(
+		&packet.TIP{TTL: 32, Proto: packet.LayerTypeTTP, Src: s.addr, Dst: s.dst, SourceRoute: p.opt},
+		&packet.TTP{SrcPort: s.src, DstPort: s.port, Seq: seq, Window: uint16(p.Index) + 1, Next: s.contentType()},
+		&packet.Raw{Data: s.segments[seq]})
+	if err != nil {
+		s.fail("serialize: " + err.Error())
+		return
+	}
+	s.stats.Sent++
+	p.Sent++
+	s.obsSent.Inc()
+	if p.Index < len(s.obsPathSent) {
+		s.obsPathSent[p.Index].Inc()
+	}
+	s.net.Send(s.node, data)
+	s.armProbe(p)
+}
+
+// promote returns a probation (or dead) path to the active set and
+// restarts striping onto it.
+func (s *Sender) promote(p *Path) {
+	s.net.Sched.Cancel(p.probeTimer)
+	p.probeTimer = sim.EventID{}
+	p.State = PathActive
+	p.Consec = 0
+	p.probes = 0
+	p.Promotions++
+	p.LastPromoteAt = s.net.Sched.Now()
+	s.stats.Promotions++
+	s.obsPromote.Inc()
+	s.pump()
+}
+
+// credit records path-level evidence of delivery from an ACK echo.
+func (s *Sender) credit(p *Path) {
+	p.Consec = 0
+	p.Loss *= 0.75
+	if p.State != PathActive {
+		s.promote(p)
+	}
+}
+
+// handleAck consumes ACKs for our connection; returns false for
+// unrelated traffic.
+func (s *Sender) handleAck(data []byte) bool {
+	var tip packet.TIP
+	if err := tip.DecodeFrom(data); err != nil || tip.Proto != packet.LayerTypeTTP {
+		return false
+	}
+	var ttp packet.TTP
+	if err := ttp.DecodeFrom(tip.LayerPayload()); err != nil {
+		return false
+	}
+	if ttp.Flags&packet.FlagACK == 0 || ttp.DstPort != s.src {
+		return false
+	}
+	if s.failed {
+		return true
+	}
+	if echo := int(ttp.Window); echo >= 1 && echo <= len(s.paths) {
+		s.credit(s.paths[echo-1])
+		if s.failed {
+			return true
+		}
+	}
+	now := s.net.Sched.Now()
+	switch {
+	case ttp.Ack > s.acked:
+		for seq := s.acked; seq < ttp.Ack; seq++ {
+			if fl, ok := s.inflight[seq]; ok {
+				s.net.Sched.Cancel(fl.timer)
+				p := s.paths[fl.path]
+				p.Acked++
+				p.AckedBytes += len(s.segments[seq])
+				if fl.path < len(s.obsPathAcked) {
+					s.obsPathAcked[fl.path].Inc()
+				}
+				if !fl.retx {
+					s.rttSample(p, now-fl.sentAt)
+				}
+				delete(s.inflight, seq)
+			}
+			delete(s.parked, seq)
+		}
+		s.acked = ttp.Ack
+		s.dupAcks = 0
+		if s.Done() {
+			s.finish()
+			return true
+		}
+		s.pump()
+	case ttp.Ack == s.acked && !s.Done():
+		// Duplicate cumulative ACK: an out-of-order segment arrived, so
+		// the window's head is likely lost. Three duplicates trigger one
+		// fast retransmission per window (no backoff charge — this is
+		// recovery, not congestion evidence).
+		s.dupAcks++
+		if s.dupAcks == 3 {
+			el := s.eligible()
+			if len(el) > 0 {
+				if fl, ok := s.inflight[s.acked]; ok {
+					s.net.Sched.Cancel(fl.timer)
+					s.stats.Retransmissions++
+					s.obsRetx.Inc()
+					s.transmit(s.acked, s.strat.Pick(el), true)
+					_ = fl
+				} else if s.parked[s.acked] {
+					delete(s.parked, s.acked)
+					s.stats.Retransmissions++
+					s.obsRetx.Inc()
+					s.transmit(s.acked, s.strat.Pick(el), true)
+				}
+			}
+		}
+	}
+	return true
+}
+
+// rttSample folds an unambiguous RTT measurement into a path's
+// Jacobson estimators.
+func (s *Sender) rttSample(p *Path, sample sim.Time) {
+	if sample <= 0 {
+		return
+	}
+	if p.SRTT == 0 {
+		p.SRTT = sample
+		p.RTTVar = sample / 2
+		return
+	}
+	diff := p.SRTT - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	p.RTTVar = (3*p.RTTVar + diff) / 4
+	p.SRTT = (7*p.SRTT + sample) / 8
+}
+
+// finish closes out a completed transfer: record the duration and
+// cancel every outstanding timer so the transfer stops occupying
+// scheduler slots.
+func (s *Sender) finish() {
+	s.stats.Elapsed = s.net.Sched.Now() - s.started
+	s.cancelAll()
+}
+
+// fail records the first terminal failure and cancels all timers.
+func (s *Sender) fail(reason string) {
+	if s.failed {
+		return
+	}
+	s.failed = true
+	s.failReason = reason
+	s.stats.Elapsed = s.net.Sched.Now() - s.started
+	s.obsGiveup.Inc()
+	s.cancelAll()
+}
+
+func (s *Sender) cancelAll() {
+	for seq, fl := range s.inflight {
+		s.net.Sched.Cancel(fl.timer)
+		delete(s.inflight, seq)
+	}
+	for seq := range s.parked {
+		delete(s.parked, seq)
+	}
+	for _, p := range s.paths {
+		s.net.Sched.Cancel(p.probeTimer)
+		p.probeTimer = sim.EventID{}
+	}
+}
+
+// Receiver reassembles a striped stream and acknowledges every data
+// segment with the cumulative next-expected sequence number, echoing
+// the carrying path's ID and source-routing the ACK back along the
+// reverse of the arrival route (so the ACK exercises the same path).
+type Receiver struct {
+	// Port is the listening TTP port.
+	Port uint16
+	// Data accumulates the in-order stream.
+	Data []byte
+	// Acks counts acknowledgments sent; Dups counts redundant data
+	// segments (stripe overlap, probation probes, spurious
+	// retransmissions) — duplicates are acknowledged but never
+	// re-delivered.
+	Acks, Dups int
+	// PathSegments counts accepted (non-duplicate) segments by on-wire
+	// path ID (1-based; 0 = unlabeled sender).
+	PathSegments map[int]int
+
+	next uint32
+	buf  map[uint32][]byte
+	net  *netsim.Network
+	node topology.NodeID
+	addr packet.Addr
+}
+
+// InstallReceiver attaches a multipath receiver for port at node id,
+// chaining any existing delivery handler for other traffic.
+func InstallReceiver(net *netsim.Network, id topology.NodeID, port uint16) *Receiver {
+	r := &Receiver{
+		Port: port, buf: map[uint32][]byte{}, PathSegments: map[int]int{},
+		net: net, node: id, addr: packet.MakeAddr(uint16(id), 1),
+	}
+	nd := net.Node(id)
+	prev := nd.Deliver
+	nd.Deliver = func(n *netsim.Node, tr *netsim.Trace, data []byte) {
+		if !r.handle(data) && prev != nil {
+			prev(n, tr, data)
+		}
+	}
+	return r
+}
+
+// handle consumes data segments for our port; returns false for
+// unrelated traffic.
+func (r *Receiver) handle(data []byte) bool {
+	var tip packet.TIP
+	if err := tip.DecodeFrom(data); err != nil || tip.Proto != packet.LayerTypeTTP {
+		return false
+	}
+	var ttp packet.TTP
+	if err := ttp.DecodeFrom(tip.LayerPayload()); err != nil || ttp.DstPort != r.Port {
+		return false
+	}
+	if ttp.Flags&packet.FlagACK != 0 {
+		return false // ACKs are for senders
+	}
+	seq := ttp.Seq
+	if seq >= r.next && r.buf[seq] == nil {
+		payload := make([]byte, len(ttp.LayerPayload()))
+		copy(payload, ttp.LayerPayload())
+		r.buf[seq] = payload
+		r.PathSegments[int(ttp.Window)]++
+	} else {
+		r.Dups++
+	}
+	for r.buf[r.next] != nil {
+		r.Data = append(r.Data, r.buf[r.next]...)
+		delete(r.buf, r.next)
+		r.next++
+	}
+	ack, err := packet.Serialize(
+		&packet.TIP{TTL: 32, Proto: packet.LayerTypeTTP, Src: r.addr, Dst: tip.Src,
+			SourceRoute: reverseRoute(tip.SourceRoute)},
+		&packet.TTP{SrcPort: r.Port, DstPort: ttp.SrcPort, Ack: r.next,
+			Flags: packet.FlagACK, Window: ttp.Window, Next: packet.LayerTypeRaw},
+		&packet.Raw{Data: nil})
+	if err == nil {
+		r.Acks++
+		r.net.Send(r.node, ack)
+	}
+	return true
+}
+
+// reverseRoute builds the ACK's source route: the data segment's
+// waypoints in reverse.
+func reverseRoute(sr *packet.SourceRouteOption) *packet.SourceRouteOption {
+	if sr == nil || len(sr.Hops) == 0 {
+		return nil
+	}
+	hops := make([]packet.Addr, len(sr.Hops))
+	for i, h := range sr.Hops {
+		hops[len(hops)-1-i] = h
+	}
+	return &packet.SourceRouteOption{Hops: hops}
+}
+
+// Transfer is the convenience wrapper: set up receiver and sender with
+// the given strategy, run the scheduler until quiescent, and return
+// both sides' outcomes.
+func Transfer(net *netsim.Network, strat Strategy, from, to topology.NodeID, port uint16, data []byte, cfg Config) (Stats, *Receiver) {
+	r := InstallReceiver(net, to, port)
+	s := NewSender(net, strat, from, to, port, data, cfg)
+	s.Start()
+	net.Sched.Run()
+	return s.Stats(), r
+}
+
+// Fairness is Jain's fairness index over the per-path acknowledged
+// bytes of the supplied paths (1 = perfectly even, 1/n = one path
+// carried everything). Paths with no acknowledged traffic still count.
+func Fairness(paths []Path) float64 {
+	if len(paths) == 0 {
+		return 0
+	}
+	var sum, sumsq float64
+	for _, p := range paths {
+		b := float64(p.AckedBytes)
+		sum += b
+		sumsq += b * b
+	}
+	if sumsq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(paths)) * sumsq)
+}
+
+// SortPathsByIndex orders a Paths() snapshot by index (defensive: the
+// snapshot is already ordered; kept for callers that filter).
+func SortPathsByIndex(paths []Path) {
+	sort.Slice(paths, func(i, j int) bool { return paths[i].Index < paths[j].Index })
+}

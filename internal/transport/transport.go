@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -175,6 +176,20 @@ type Sender struct {
 	failed     bool
 	failReason string
 	rng        *sim.RNG // jitter source, seeded per connection
+
+	// Pre-bound obs handles; nil (zero-cost no-op Inc) unless AttachObs
+	// ran, mirroring netsim's instrumentation pattern.
+	obsRetx   *obs.Counter
+	obsGiveup *obs.Counter
+}
+
+// AttachObs binds the sender's retransmission and give-up counters
+// (`transport.retx`, `transport.giveup`) to a registry. Never attached —
+// the default — both handles stay nil and the hot paths pay one nil
+// check each.
+func (s *Sender) AttachObs(reg *obs.Registry) {
+	s.obsRetx = reg.Counter("transport.retx")
+	s.obsGiveup = reg.Counter("transport.giveup")
 }
 
 // NewSender prepares a transfer of data from node src to dstAddr:port.
@@ -300,6 +315,7 @@ func (s *Sender) timeout(seq uint32) {
 		return
 	}
 	s.stats.Retransmissions++
+	s.obsRetx.Inc()
 	s.transmit(seq)
 }
 
@@ -313,6 +329,7 @@ func (s *Sender) fail(reason string) {
 	s.failed = true
 	s.failReason = reason
 	s.stats.Elapsed = s.net.Sched.Now() - s.started
+	s.obsGiveup.Inc()
 	for seq, id := range s.inflight {
 		s.net.Sched.Cancel(id)
 		delete(s.inflight, seq)

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -311,5 +312,69 @@ func TestDeclaredContentType(t *testing.T) {
 		if next != packet.LayerTypeCrypto {
 			t.Fatalf("segment declared %v, want Crypto", next)
 		}
+	}
+}
+
+// TestNoPendingTimersAfterGiveUp pins the fail() cleanup contract: a
+// transfer that gives up on a partition must cancel every outstanding
+// retransmission timer, so abandoned transfers stop occupying scheduler
+// slots instead of each in-flight segment ticking through its own
+// backoff ladder.
+func TestNoPendingTimersAfterGiveUp(t *testing.T) {
+	net, sched := chain(4)
+	net.FailLink(2, 3) // permanent
+	cfg := DefaultConfig()
+	cfg.MaxRetries = 3
+	s := NewSender(net, 1, packet.MakeAddr(4, 1), 9000, payload(8000), cfg)
+	InstallReceiver(net, 4, 9000)
+	s.Start()
+	sched.Run()
+	if !s.Failed() {
+		t.Fatal("sender should give up on a partitioned path")
+	}
+	if p := sched.Pending(); p != 0 {
+		t.Fatalf("%d timers still pending after give-up", p)
+	}
+}
+
+// TestNoPendingTimersAfterCompletion is the happy-path counterpart:
+// completion cancels everything too.
+func TestNoPendingTimersAfterCompletion(t *testing.T) {
+	net, sched := chain(4)
+	st, _ := Transfer(net, 1, 4, 9000, payload(8000), DefaultConfig())
+	if !st.Done {
+		t.Fatalf("transfer failed: %+v", st)
+	}
+	if p := sched.Pending(); p != 0 {
+		t.Fatalf("%d timers still pending after completion", p)
+	}
+}
+
+// TestObsCountersExported checks the transport.retx / transport.giveup
+// registry wiring, and that the unattached default stays a no-op.
+func TestObsCountersExported(t *testing.T) {
+	net, sched := chain(4)
+	net.FailLink(2, 3)
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.MaxRetries = 3
+	s := NewSender(net, 1, packet.MakeAddr(4, 1), 9000, payload(1000), cfg)
+	s.AttachObs(reg)
+	InstallReceiver(net, 4, 9000)
+	s.Start()
+	sched.Run()
+	if !s.Failed() {
+		t.Fatal("sender should give up")
+	}
+	snap := reg.Snapshot()
+	vals := map[string]int64{}
+	for _, c := range snap.Counters {
+		vals[c.Name] = c.Value
+	}
+	if vals["transport.retx"] != int64(s.Stats().Retransmissions) {
+		t.Fatalf("transport.retx = %d, stats say %d", vals["transport.retx"], s.Stats().Retransmissions)
+	}
+	if vals["transport.giveup"] != 1 {
+		t.Fatalf("transport.giveup = %d, want 1", vals["transport.giveup"])
 	}
 }
