@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-json scale-json scale-smoke wire-json wire-smoke policy-json policy-smoke shard-determinism experiments metrics fuzz-smoke golden-check invariant-sweep multipath-chaos cover ci
+.PHONY: all build vet test race bench-smoke bench bench-json scale-json scale-smoke wire-json wire-smoke wire-multipath-smoke policy-json policy-smoke shard-determinism experiments metrics fuzz-smoke golden-check invariant-sweep multipath-chaos cover ci
 
 all: vet build test
 
@@ -84,6 +84,35 @@ wire-smoke:
 	$(GO) run ./cmd/tussle-bench -wire-json /tmp/wire-smoke.json -iters 2
 	$(GO) run ./cmd/tussle-bench -compare -tolerance 0.5 BENCH_wire.json /tmp/wire-smoke.json
 
+# Wire-multipath smoke (<2 min): striped >=10MB transfers over real UDP
+# through the tussled binary, twice. Run 1: shortest-k against a server
+# whose path-2 impairment starts enabled — SIGUSR1 lifts it mid-run —
+# and the transfer must still complete byte-exact (the blast side's
+# payload sha256 equals the server's reassembled stream sha256) with at
+# least one demotion recorded. Run 2: loss-adaptive against a clean
+# server — all three paths must carry segments. A quick wire measurement
+# then gates the multipath round-trip row (ns/op and its allocs/op at
+# zero tolerance) against the committed baseline.
+wire-multipath-smoke:
+	$(GO) build -o /tmp/tussled-mp ./cmd/tussled
+	/tmp/tussled-mp -listen 127.0.0.1:19199 -node 1 -mprecv 7777 -impair-path 2 -impair-port 7777 -impair-on >/tmp/mp-smoke1.log 2>&1 & \
+	  pid=$$!; sleep 1; \
+	  { sleep 2; kill -USR1 $$pid 2>/dev/null; } & \
+	  /tmp/tussled-mp -blast 127.0.0.1:19199 -multipath -mpstrategy shortest-k -mpbytes 10485760 -src 2.1 -dst 1.1 > /tmp/mp-blast1.out || { kill $$pid; exit 1; }; \
+	  kill -INT $$pid; wait $$pid
+	grep -q 'done=true' /tmp/mp-blast1.out
+	grep -Eq 'demotions=[1-9]' /tmp/mp-blast1.out
+	test "$$(grep -o 'payload-sha256=[0-9a-f]*' /tmp/mp-blast1.out | cut -d= -f2)" = "$$(grep -o 'stream-sha256=[0-9a-f]*' /tmp/mp-smoke1.log | cut -d= -f2)"
+	/tmp/tussled-mp -listen 127.0.0.1:19199 -node 1 -mprecv 7777 >/tmp/mp-smoke2.log 2>&1 & \
+	  pid=$$!; sleep 1; \
+	  /tmp/tussled-mp -blast 127.0.0.1:19199 -multipath -mpstrategy loss-adaptive -mpbytes 10485760 -src 2.1 -dst 1.1 > /tmp/mp-blast2.out || { kill $$pid; exit 1; }; \
+	  kill -INT $$pid; wait $$pid
+	grep -q 'done=true' /tmp/mp-blast2.out
+	test "$$(grep -o 'payload-sha256=[0-9a-f]*' /tmp/mp-blast2.out | cut -d= -f2)" = "$$(grep -o 'stream-sha256=[0-9a-f]*' /tmp/mp-smoke2.log | cut -d= -f2)"
+	test "$$(grep -c 'multipath-recv: path=' /tmp/mp-smoke2.log)" -eq 3
+	$(GO) run ./cmd/tussle-bench -wire-json /tmp/mp-smoke.json -iters 2
+	$(GO) run ./cmd/tussle-bench -compare -tolerance 0.5 BENCH_wire.json /tmp/mp-smoke.json
+
 # Regenerate the committed policy-VM perf baseline: per-eval ns/op and
 # allocs/op for the scalar / membership / nested policy shapes through
 # the pooled dense-slot VM path (the BenchmarkPolicyEval sweep as
@@ -143,6 +172,7 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzShrinkRoundTrip$$' -fuzztime=30s ./internal/invariant
 	$(GO) test -fuzz='^FuzzCompileEval$$' -fuzztime=30s ./internal/policy
 	$(GO) test -fuzz='^FuzzDisjointPaths$$' -fuzztime=30s ./internal/routing/srcroute
+	$(GO) test -fuzz='^FuzzMultipathAck$$' -fuzztime=30s ./internal/transport/multipath
 
 # Property-based invariant sweeps: seeded random topologies, traffic, and
 # fault plans run with the runtime invariant checker armed (see
@@ -180,4 +210,4 @@ cover:
 golden-check: experiments
 	git diff --exit-code EXPERIMENTS.md
 
-ci: vet build test race bench-smoke fuzz-smoke golden-check invariant-sweep multipath-chaos shard-determinism scale-smoke wire-smoke policy-smoke
+ci: vet build test race bench-smoke fuzz-smoke golden-check invariant-sweep multipath-chaos shard-determinism scale-smoke wire-smoke wire-multipath-smoke policy-smoke

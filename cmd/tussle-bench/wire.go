@@ -37,11 +37,25 @@ var wireSizes = []struct {
 		}
 		return nil
 	}},
+	// wire-mp-roundtrip: the striped multipath transfer over real UDP —
+	// one op is one data segment out across the three-path stripe and
+	// its cumulative ACK back, reassembly verified byte-exact per run.
+	{"wire-mp-roundtrip", 50_000, func(s *wireBenchState, n int) error {
+		sum, err := s.mp.Run(n)
+		if err != nil {
+			return err
+		}
+		if sum.Acks == 0 {
+			return fmt.Errorf("no acknowledgments built: %+v", sum)
+		}
+		return nil
+	}},
 }
 
 type wireBenchState struct {
 	proc *wire.ProcessBench
 	loop *wire.LoopbackBench
+	mp   *wire.MultipathLoopbackBench
 }
 
 // benchWire measures the wire workloads; ns/op is the per-packet
@@ -70,7 +84,13 @@ func benchWire(iters int) suiteBench {
 		os.Exit(1)
 	}
 	defer loop.Close()
-	st := &wireBenchState{proc: proc, loop: loop}
+	mp, err := wire.NewMultipathLoopbackBench(runtime.GOMAXPROCS(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tussle-bench: wire: %v\n", err)
+		os.Exit(1)
+	}
+	defer mp.Close()
+	st := &wireBenchState{proc: proc, loop: loop, mp: mp}
 
 	var m0, m1 runtime.MemStats
 	for _, sz := range wireSizes {

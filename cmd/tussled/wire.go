@@ -7,6 +7,8 @@ package main
 // before it.
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/netip"
@@ -14,14 +16,18 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/transport/multipath"
 	"repro/internal/wire"
 )
 
@@ -85,6 +91,11 @@ func runServe(args []string) int {
 	filterStats := fs.Bool("filter-stats", false, "print counters (with the sanity-filter verdict histogram) every second")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the serve loop to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile (at shutdown) to this file")
+	mprecv := fs.Uint("mprecv", 0, "reassemble multipath streams delivered to this TTP port (0 = off)")
+	impairPath := fs.Int("impair-path", 0, "install a path impairment middlebox for this on-wire path ID (0 = none; toggle with SIGUSR1)")
+	impairPort := fs.Uint("impair-port", 0, "restrict the path impairment to this TTP destination port (0 = any)")
+	impairOn := fs.Bool("impair-on", false, "start with the path impairment enabled")
+	obsFile := fs.String("obs", "", "write the obs counter snapshot (JSON) at shutdown to this file")
 	peers := peerFlag{}
 	fs.Var(peers, "peer", "next-hop mapping id=host:port (repeatable)")
 	fs.Parse(args)
@@ -110,19 +121,39 @@ func runServe(args []string) int {
 		_, ok := peers[next]
 		return next, ok
 	}
+	// One PathImpairment instance is shared by every worker's dataplane
+	// chain (it is stateless apart from atomics), so one SIGUSR1 flips
+	// the fault for the whole engine.
+	var impair *wire.PathImpairment
+	if *impairPath > 0 {
+		impair = &wire.PathImpairment{PathID: *impairPath, Port: uint16(*impairPort)}
+		impair.SetEnabled(*impairOn)
+	}
+	var mpRecv *wire.MultipathReceiver
+	var deliver func(data []byte, from netip.AddrPort) []byte
+	if *mprecv > 0 {
+		mpRecv = wire.NewMultipathReceiver(id, uint16(*mprecv), *workers**batch*2)
+		deliver = mpRecv.Deliver
+	}
 	eng, err := wire.New(wire.Config{
 		Listen:  *listen,
 		Workers: *workers,
 		Batch:   *batch,
 		Echo:    *echo,
+		Deliver: deliver,
 		Peers:   peers,
 		NewDataplane: func() *wire.Dataplane {
+			var mbs []netsim.Middlebox
+			if impair != nil {
+				mbs = append(mbs, impair)
+			}
 			return wire.NewDataplane(wire.NodeConfig{
 				ID:                           id,
 				Route:                        route,
 				HonorSourceRoutes:            *srcroute || *srcroutePaid || srPolicy != nil,
 				RequirePaymentForSourceRoute: *srcroutePaid,
 				SourceRoutePolicy:            srPolicy,
+				Middleboxes:                  mbs,
 				Peers:                        peerIDs,
 			})
 		},
@@ -150,6 +181,19 @@ func runServe(args []string) int {
 		defer close(done)
 		eng.Run()
 	}()
+
+	if impair != nil {
+		usr := make(chan os.Signal, 1)
+		signal.Notify(usr, syscall.SIGUSR1)
+		go func() {
+			for range usr {
+				v := !impair.Enabled()
+				impair.SetEnabled(v)
+				fmt.Printf("tussled: path impairment path=%d enabled=%t dropped=%d\n",
+					impair.PathID, v, impair.Dropped())
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -189,6 +233,32 @@ func runServe(args []string) int {
 		f.Close()
 	}
 	fmt.Println(eng.Stats().String())
+	if impair != nil {
+		fmt.Printf("path-impair: path=%d enabled=%t dropped=%d\n", impair.PathID, impair.Enabled(), impair.Dropped())
+	}
+	if mpRecv != nil {
+		sum := mpRecv.Summary()
+		fmt.Printf("multipath-recv: bytes=%d stream-sha256=%x acks=%d dups=%d\n",
+			sum.Bytes, sum.SHA256, sum.Acks, sum.Dups)
+		ids := make([]int, 0, len(sum.PathSegments))
+		for pid := range sum.PathSegments {
+			ids = append(ids, pid)
+		}
+		sort.Ints(ids)
+		for _, pid := range ids {
+			fmt.Printf("multipath-recv: path=%d segments=%d\n", pid, sum.PathSegments[pid])
+		}
+	}
+	if *obsFile != "" {
+		reg := obs.NewRegistry()
+		if mpRecv != nil {
+			mpRecv.PublishObs(reg)
+		}
+		if err := writeObsSnapshot(*obsFile, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "tussled: -obs: %v\n", err)
+			return 1
+		}
+	}
 	return 0
 }
 
@@ -203,6 +273,16 @@ func runBlast(args []string) int {
 	batch := fs.Int("batch", 64, "sendmmsg batch size")
 	conns := fs.Int("conns", 1, "parallel client sockets (distinct source ports)")
 	echo := fs.Bool("echo", false, "expect echoes back and pace against them")
+	mp := fs.Bool("multipath", false, "stripe a reliable stream across paths instead of blasting raw datagrams")
+	mpStrategy := fs.String("mpstrategy", "shortest-k", "multipath scheduling strategy")
+	mpBytes := fs.Int("mpbytes", 1<<20, "multipath stream size in bytes (seed-derived payload)")
+	mpPaths := fs.Int("mppaths", 3, "multipath path count")
+	mpSeed := fs.Uint64("mpseed", 42, "multipath payload/jitter seed")
+	mpWindow := fs.Int("mpwindow", 64, "multipath send window in segments")
+	mpSeg := fs.Int("mpseg", 1024, "multipath segment size in bytes")
+	mpPort := fs.Uint("port", 7777, "multipath receiver TTP port")
+	mpTimeout := fs.Duration("mptimeout", 60*time.Second, "multipath transfer deadline")
+	obsFile := fs.String("obs", "", "write the obs counter snapshot (JSON) to this file")
 	fs.Parse(args)
 
 	ap, err := netip.ParseAddrPort(*target)
@@ -219,6 +299,14 @@ func runBlast(args []string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tussled: -src: %v\n", err)
 		return 64
+	}
+	if *mp {
+		return runBlastMultipath(ap, s, d, mpBlastOpts{
+			strategy: *mpStrategy, bytes: *mpBytes, paths: *mpPaths,
+			seed: *mpSeed, window: *mpWindow, seg: *mpSeg,
+			port: uint16(*mpPort), batch: *batch, timeout: *mpTimeout,
+			obsFile: *obsFile,
+		})
 	}
 	data, err := packet.Serialize(
 		&packet.TIP{TTL: 16, Proto: packet.LayerTypeRaw, Src: s, Dst: d},
@@ -242,6 +330,112 @@ func runBlast(args []string) int {
 	fmt.Printf("blast: sent=%d send-errors=%d received=%d lost=%d elapsed=%s pps=%.0f\n",
 		res.Sent, res.SendErrors, res.Received, res.Lost, res.Elapsed.Round(time.Millisecond), res.PPS())
 	return 0
+}
+
+// mpBlastOpts carries the -multipath blast knobs.
+type mpBlastOpts struct {
+	strategy string
+	bytes    int
+	paths    int
+	seed     uint64
+	window   int
+	seg      int
+	port     uint16
+	batch    int
+	timeout  time.Duration
+	obsFile  string
+}
+
+// runBlastMultipath is tussled -blast -multipath: stripe one reliable,
+// seed-derived stream across n source-routed paths to the target and
+// report the transfer outcome. The payload hash printed here must match
+// the stream hash the -mprecv server prints at shutdown.
+func runBlastMultipath(target netip.AddrPort, src, dst packet.Addr, o mpBlastOpts) int {
+	strat, err := multipath.StrategyByName(o.strategy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tussled: -mpstrategy: %v\n", err)
+		return 64
+	}
+	if o.bytes <= 0 || o.paths <= 0 {
+		fmt.Fprintln(os.Stderr, "tussled: -mpbytes and -mppaths must be positive")
+		return 64
+	}
+	// Seed-derived payload: both ends can verify byte-exact delivery
+	// from (seed, size) alone, no shared file needed.
+	payload := make([]byte, o.bytes)
+	rng := sim.NewRNG(o.seed)
+	for i := 0; i < len(payload); i += 8 {
+		v := rng.Uint64()
+		for j := 0; j < 8 && i+j < len(payload); j++ {
+			payload[i+j] = byte(v >> (8 * j))
+		}
+	}
+
+	tcfg := multipath.DefaultConfig()
+	tcfg.Seed = o.seed
+	tcfg.Paths = o.paths
+	if o.window > 0 {
+		tcfg.Window = o.window
+	}
+	if o.seg > 0 {
+		tcfg.SegmentSize = o.seg
+	}
+	paths := make([]wire.MPPath, o.paths)
+	for i := range paths {
+		paths[i] = wire.MPPath{Via: target, Latency: sim.Millisecond}
+	}
+	snd, err := wire.NewMultipathSender(wire.MultipathSenderConfig{
+		Transport: tcfg,
+		Strategy:  strat,
+		Src:       topology.NodeID(src.Provider()),
+		Dst:       topology.NodeID(dst.Provider()),
+		Port:      o.port,
+		Paths:     paths,
+		Batch:     o.batch,
+	}, payload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tussled: multipath: %v\n", err)
+		return 1
+	}
+	var reg *obs.Registry
+	if o.obsFile != "" {
+		reg = obs.NewRegistry()
+		snd.AttachObs(reg)
+	}
+	snd.Start()
+	finished := snd.Wait(o.timeout)
+	snd.Close()
+
+	st := snd.Stats()
+	fmt.Printf("multipath: strategy=%s bytes=%d payload-sha256=%x\n", o.strategy, len(payload), sha256.Sum256(payload))
+	fmt.Printf("multipath: done=%t failed=%t reason=%q timed-out=%t\n", st.Done, st.Failed, st.FailReason, !finished)
+	fmt.Printf("multipath: segments=%d sent=%d retx=%d probes=%d demotions=%d promotions=%d elapsed=%s\n",
+		st.Segments, st.Sent, st.Retransmissions, st.Probes, st.Demotions, st.Promotions,
+		time.Duration(st.Elapsed).Round(time.Millisecond))
+	for _, p := range snd.Paths() {
+		fmt.Printf("multipath: path=%d state=%s sent=%d acked=%d retx=%d timeouts=%d probes=%d srtt=%s loss=%.3f\n",
+			p.Index+1, p.State, p.Sent, p.Acked, p.Retx, p.Timeouts, p.Probes,
+			time.Duration(p.SRTT).Round(time.Microsecond), p.Loss)
+	}
+	if reg != nil {
+		if err := writeObsSnapshot(o.obsFile, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "tussled: -obs: %v\n", err)
+			return 1
+		}
+	}
+	if !st.Done {
+		return 1
+	}
+	return 0
+}
+
+// writeObsSnapshot dumps a registry snapshot as JSON.
+func writeObsSnapshot(path string, reg *obs.Registry) error {
+	data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // wireMode dispatches -listen / -blast before the scenario flag set

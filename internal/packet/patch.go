@@ -102,6 +102,40 @@ func AdvanceSourceRoute(data []byte) (next Addr, ok bool, err error) {
 	return AddrNone, false, nil
 }
 
+// PatchTTPSeq overwrites the Seq field of the TTP header riding a
+// serialized TIP packet, in place. The TIP checksum covers only the TIP
+// header bytes, so patching transport fields needs no checksum repair;
+// wire senders use this to stamp per-segment sequence numbers into
+// prebuilt per-path header templates.
+func PatchTTPSeq(data []byte, seq uint32) error {
+	hlen, err := tipHeaderLen(data)
+	if err != nil {
+		return err
+	}
+	if len(data) < hlen+ttpHeaderLen {
+		return ErrTruncated
+	}
+	putU32(data[hlen+4:], seq)
+	return nil
+}
+
+// PatchTTPAck overwrites the Ack and Window (path echo) fields of the
+// TTP header riding a serialized TIP packet, in place — the wire
+// receiver's per-ACK patch into a prebuilt template. Like PatchTTPSeq,
+// no checksum repair is needed.
+func PatchTTPAck(data []byte, ack uint32, window uint16) error {
+	hlen, err := tipHeaderLen(data)
+	if err != nil {
+		return err
+	}
+	if len(data) < hlen+ttpHeaderLen {
+		return ErrTruncated
+	}
+	putU32(data[hlen+8:], ack)
+	putU16(data[hlen+14:], window)
+	return nil
+}
+
 // PeekSourceRoute returns the next unvisited waypoint of a serialized TIP
 // packet without modifying it, or ok=false if there is no (unexhausted)
 // source route.

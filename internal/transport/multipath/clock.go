@@ -1,0 +1,89 @@
+package multipath
+
+import "repro/internal/sim"
+
+// This file is the substrate seam: the sender's demotion / probation /
+// promotion state machine is written once against Clock and Driver, and
+// runs unchanged on the simulator's virtual scheduler (SimClock) and on
+// the wall clock (internal/wire's WallClock over time.AfterFunc). The
+// determinism contract for the wire port rests on this seam: given the
+// same Config, candidate set, and segment/ACK byte stream at the same
+// clock readings, both substrates must make byte-identical decisions —
+// the differential harness in internal/wire pins that.
+
+// Timer is one cancellable pending callback. A nil Timer is valid and
+// cancels to a no-op (use cancelTimer).
+type Timer interface {
+	// Cancel stops the timer if it has not fired. Callbacks that raced
+	// past Cancel on a wall clock are defused by generation checks in
+	// the state machine, so Cancel need not synchronize with the
+	// callback.
+	Cancel()
+}
+
+// cancelTimer cancels t if armed.
+func cancelTimer(t Timer) {
+	if t != nil {
+		t.Cancel()
+	}
+}
+
+// Clock is the timer substrate a Sender runs on. Implementations must
+// deliver callbacks serially with respect to the sender's other entry
+// points (the scheduler is single-threaded; WallClock serializes with a
+// mutex).
+type Clock interface {
+	// Now is the current time. Wall clocks report nanoseconds since an
+	// arbitrary epoch; only differences matter.
+	Now() sim.Time
+	// After arms fn to run once, d from now.
+	After(d sim.Time, fn func()) Timer
+}
+
+// SimClock adapts the simulation scheduler to Clock. It is the
+// substrate behind NewSender; exported so harnesses can drive a wire
+// sender on virtual time.
+type SimClock struct {
+	Sched *sim.Scheduler
+}
+
+// Now returns the scheduler's current virtual time.
+func (c SimClock) Now() sim.Time { return c.Sched.Now() }
+
+// After schedules fn on the scheduler.
+func (c SimClock) After(d sim.Time, fn func()) Timer {
+	return simTimer{c.Sched, c.Sched.After(d, fn)}
+}
+
+type simTimer struct {
+	s  *sim.Scheduler
+	id sim.EventID
+}
+
+func (t simTimer) Cancel() { t.s.Cancel(t.id) }
+
+// Driver is everything substrate-specific about running a Sender: the
+// clock, the transmission hooks, and the observers. NewSender fills it
+// with the netsim substrate; wire.MultipathSender fills it with UDP
+// sockets and batched sends.
+type Driver struct {
+	// Clock provides Now and timers. Required.
+	Clock Clock
+	// Xmit transmits segment seq over path p (serialization and I/O are
+	// the driver's business; the core supplies Segment(seq) and the
+	// path's on-wire ID). An error is terminal for the transfer.
+	// Required.
+	Xmit func(p *Path, seq uint32) error
+	// Flush, if set, runs at the end of every state-machine entry point
+	// (Start, HandleAck, and timer callbacks) so drivers that batch
+	// transmissions can push the accumulated queue in one syscall.
+	Flush func()
+	// Trace, if set, receives one line per sender decision
+	// ("t=<ns> tx seq=... path=... rto=..."). The line format is shared
+	// by both substrates and diffed by the differential harness; it is
+	// part of the determinism contract.
+	Trace func(line string)
+	// OnDone, if set, runs once when the transfer finishes or fails —
+	// the wall-clock driver's completion signal.
+	OnDone func()
+}

@@ -32,9 +32,14 @@
 // each ACK back along the reverse of the arrival route, so both
 // directions of a path are exercised and credited together.
 //
-// Everything is deterministic: all randomness (jitter) derives from the
-// configured seed, all scheduling from the simulation scheduler, so the
-// same seed and fault plan reproduce byte-identical stats and metrics.
+// The state machine is substrate-independent: it runs against the
+// Clock/Driver seam in clock.go, so the identical demotion / probation /
+// promotion code drives both the simulator (NewSender, on the event
+// scheduler) and real UDP sockets (internal/wire's MultipathSender, on
+// the wall clock). All randomness (RTO jitter) derives from the
+// configured seed through one RNG stream per path — never from draw
+// order across paths — so the same seed reproduces the same decisions
+// on both substrates.
 package multipath
 
 import (
@@ -80,8 +85,8 @@ type Config struct {
 	// probes declare the path dead.
 	ProbeEvery sim.Time
 	MaxProbes  int
-	// Seed drives the jitter RNG (mixed with endpoints, as in
-	// transport.Config).
+	// Seed drives the jitter RNGs (mixed with endpoints, as in
+	// transport.Config, then forked once per path).
 	Seed uint64
 	// ContentType declares what the stream carries (TTP.Next).
 	ContentType packet.LayerType
@@ -98,6 +103,29 @@ func DefaultConfig() Config {
 		DemoteAfter: 2, ProbeEvery: 150 * sim.Millisecond, MaxProbes: 12,
 		ContentType: packet.LayerTypeRaw,
 	}
+}
+
+// withDefaults fills unset knobs, exactly as NewSender always has.
+func (cfg Config) withDefaults() Config {
+	if cfg.Window <= 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.Paths <= 0 {
+		cfg.Paths = 3
+	}
+	if cfg.MaxPathLen <= 0 {
+		cfg.MaxPathLen = 8
+	}
+	if cfg.DemoteAfter <= 0 {
+		cfg.DemoteAfter = 2
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 150 * sim.Millisecond
+	}
+	if cfg.MaxProbes <= 0 {
+		cfg.MaxProbes = 12
+	}
+	return cfg
 }
 
 // PathState is a path's position in the demotion state machine.
@@ -152,9 +180,11 @@ type Path struct {
 	LastDemoteAt, LastPromoteAt         sim.Time
 
 	opt        *packet.SourceRouteOption // prebuilt wire option (nil for direct paths)
-	probeTimer sim.EventID
-	probes     int // unanswered probes this probation
+	probeTimer Timer
+	probeGen   uint32 // defuses stale wall-clock probe callbacks
+	probes     int    // unanswered probes this probation
 	wrrCredit  float64
+	rng        *sim.RNG // per-path jitter stream: sim.SeedStream(base, Index)
 }
 
 // Stats summarizes a transfer.
@@ -179,7 +209,8 @@ type Stats struct {
 // flight is one outstanding segment's transmission state.
 type flight struct {
 	path    int
-	timer   sim.EventID
+	timer   Timer
+	gen     uint32 // bumped per transmit; defuses stale wall-clock timeouts
 	sentAt  sim.Time
 	retries int
 	retx    bool // retransmitted at least once: no RTT sample (Karn)
@@ -189,7 +220,8 @@ type flight struct {
 type Sender struct {
 	cfg   Config
 	strat Strategy
-	net   *netsim.Network
+	drv   Driver
+	net   *netsim.Network // nil for driver (wire/harness) senders
 	node  topology.NodeID
 	addr  packet.Addr
 	dst   packet.Addr
@@ -208,7 +240,11 @@ type Sender struct {
 	started    sim.Time
 	failed     bool
 	failReason string
-	rng        *sim.RNG
+
+	// ACK decode scratch, reused so the steady-state ACK path allocates
+	// nothing on either substrate.
+	ackTip packet.TIP
+	ackTTP packet.TTP
 
 	// Pre-bound obs handles; nil (zero-cost no-ops) unless AttachObs ran.
 	obsSent, obsRetx, obsProbe       *obs.Counter
@@ -218,36 +254,38 @@ type Sender struct {
 
 // NewSender prepares a transfer of data from node src to node dst's
 // port, striped across the paths the strategy discovers on the
-// network's topology map.
+// network's topology map, driven by the network's scheduler.
 func NewSender(net *netsim.Network, strat Strategy, src, dst topology.NodeID, port uint16, data []byte, cfg Config) *Sender {
-	if cfg.Window <= 0 {
-		cfg = DefaultConfig()
-	}
-	if cfg.Paths <= 0 {
-		cfg.Paths = 3
-	}
-	if cfg.MaxPathLen <= 0 {
-		cfg.MaxPathLen = 8
-	}
-	if cfg.DemoteAfter <= 0 {
-		cfg.DemoteAfter = 2
-	}
-	if cfg.ProbeEvery <= 0 {
-		cfg.ProbeEvery = 150 * sim.Millisecond
-	}
-	if cfg.MaxProbes <= 0 {
-		cfg.MaxProbes = 12
-	}
+	cfg = cfg.withDefaults()
+	cands := strat.Discover(net.Graph, src, dst, cfg.Paths, cfg.MaxPathLen)
+	s := NewDriverSender(Driver{}, strat, cands, src, dst, port, data, cfg)
+	s.net = net
+	s.drv = Driver{Clock: SimClock{net.Sched}, Xmit: s.simXmit}
+	return s
+}
+
+// NewDriverSender prepares a transfer over an explicit candidate set on
+// an explicit substrate — the constructor behind both the simulator
+// wrapper above and the wire engine's MultipathSender. src/dst/port
+// feed the jitter-seed mix exactly as in the simulator, so a wire
+// sender with matching endpoints draws the same per-path jitter
+// streams. The Driver may be zero at construction as long as Clock and
+// Xmit are set before Start.
+func NewDriverSender(drv Driver, strat Strategy, cands []srcroute.Candidate, src, dst topology.NodeID, port uint16, data []byte, cfg Config) *Sender {
+	cfg = cfg.withDefaults()
 	s := &Sender{
-		cfg: cfg, strat: strat, net: net, node: src,
+		cfg: cfg, strat: strat, drv: drv, node: src,
 		addr: packet.MakeAddr(uint16(src), 1), dst: packet.MakeAddr(uint16(dst), 1),
 		port: port, src: 41000,
 		inflight: map[uint32]*flight{},
 		parked:   map[uint32]bool{},
-		rng:      sim.NewRNG(cfg.Seed<<20 ^ uint64(src)<<36 ^ uint64(dst)<<8 ^ uint64(port)<<16 ^ 0x6d70617468),
 	}
-	for _, c := range strat.Discover(net.Graph, src, dst, cfg.Paths, cfg.MaxPathLen) {
-		p := &Path{Index: len(s.paths), Cand: c, opt: c.Option()}
+	base := cfg.Seed<<20 ^ uint64(src)<<36 ^ uint64(dst)<<8 ^ uint64(port)<<16 ^ 0x6d70617468
+	for _, c := range cands {
+		p := &Path{
+			Index: len(s.paths), Cand: c, opt: c.Option(),
+			rng: sim.NewRNG(sim.SeedStream(base, uint64(len(s.paths)))),
+		}
 		s.paths = append(s.paths, p)
 	}
 	for off := 0; off < len(data); off += cfg.SegmentSize {
@@ -263,6 +301,24 @@ func NewSender(net *netsim.Network, strat Strategy, src, dst topology.NodeID, po
 	s.stats.PathsUsed = len(s.paths)
 	return s
 }
+
+// simXmit is the netsim substrate's transmission hook: serialize and
+// inject at the sending node.
+func (s *Sender) simXmit(p *Path, seq uint32) error {
+	data, err := packet.Serialize(
+		&packet.TIP{TTL: 32, Proto: packet.LayerTypeTTP, Src: s.addr, Dst: s.dst, SourceRoute: p.opt},
+		&packet.TTP{SrcPort: s.src, DstPort: s.port, Seq: seq, Window: uint16(p.Index) + 1, Next: s.contentType()},
+		&packet.Raw{Data: s.segments[seq]})
+	if err != nil {
+		return err
+	}
+	s.net.Send(s.node, data)
+	return nil
+}
+
+// SetTrace installs a decision-log hook (see Driver.Trace). Install
+// before Start.
+func (s *Sender) SetTrace(fn func(string)) { s.drv.Trace = fn }
 
 // AttachObs binds the sender's metrics to a registry: aggregate
 // transfer counters plus per-path send/ack counters. Never attached
@@ -283,22 +339,27 @@ func (s *Sender) AttachObs(reg *obs.Registry) {
 	}
 }
 
-// Start begins the transfer and hooks ACK reception at the sending
-// node. A sender with no discovered paths fails immediately.
+// Start begins the transfer. On the netsim substrate it also hooks ACK
+// reception at the sending node; driver senders feed ACKs through
+// HandleAck themselves. A sender with no discovered paths fails
+// immediately.
 func (s *Sender) Start() {
-	s.started = s.net.Sched.Now()
+	s.started = s.now()
 	if len(s.paths) == 0 {
 		s.fail("no paths discovered")
 		return
 	}
-	nd := s.net.Node(s.node)
-	prev := nd.Deliver
-	nd.Deliver = func(n *netsim.Node, tr *netsim.Trace, data []byte) {
-		if !s.handleAck(data) && prev != nil {
-			prev(n, tr, data)
+	if s.net != nil {
+		nd := s.net.Node(s.node)
+		prev := nd.Deliver
+		nd.Deliver = func(n *netsim.Node, tr *netsim.Trace, data []byte) {
+			if !s.HandleAck(data) && prev != nil {
+				prev(n, tr, data)
+			}
 		}
 	}
 	s.pump()
+	s.doFlush()
 }
 
 // Done reports whether every segment is acknowledged.
@@ -306,6 +367,16 @@ func (s *Sender) Done() bool { return int(s.acked) >= len(s.segments) }
 
 // Failed reports whether the transfer gave up.
 func (s *Sender) Failed() bool { return s.failed }
+
+// Acked returns the cumulative acknowledged sequence number.
+func (s *Sender) Acked() uint32 { return s.acked }
+
+// Segment returns segment seq's payload (owned by the sender; drivers
+// serialize from it without copying).
+func (s *Sender) Segment(seq uint32) []byte { return s.segments[seq] }
+
+// Config returns the transfer's configuration with defaults applied.
+func (s *Sender) Config() Config { return s.cfg }
 
 // Stats returns the transfer summary.
 func (s *Sender) Stats() Stats {
@@ -324,6 +395,21 @@ func (s *Sender) Paths() []Path {
 		out[i] = *p
 	}
 	return out
+}
+
+func (s *Sender) now() sim.Time { return s.drv.Clock.Now() }
+
+func (s *Sender) doFlush() {
+	if s.drv.Flush != nil {
+		s.drv.Flush()
+	}
+}
+
+// tracef emits one decision-log line, prefixed with the clock reading.
+// Callers guard with s.drv.Trace != nil so the disabled path costs one
+// nil check and boxes no arguments.
+func (s *Sender) tracef(format string, args ...any) {
+	s.drv.Trace(fmt.Sprintf("t=%d ", int64(s.now())) + fmt.Sprintf(format, args...))
 }
 
 func (s *Sender) contentType() packet.LayerType {
@@ -378,11 +464,7 @@ func (s *Sender) pump() {
 // transmit sends segment seq over path p and arms its timer. retx marks
 // a retransmission (counted, and excluded from RTT sampling).
 func (s *Sender) transmit(seq uint32, p *Path, retx bool) {
-	data, err := packet.Serialize(
-		&packet.TIP{TTL: 32, Proto: packet.LayerTypeTTP, Src: s.addr, Dst: s.dst, SourceRoute: p.opt},
-		&packet.TTP{SrcPort: s.src, DstPort: s.port, Seq: seq, Window: uint16(p.Index) + 1, Next: s.contentType()},
-		&packet.Raw{Data: s.segments[seq]})
-	if err != nil {
+	if err := s.drv.Xmit(p, seq); err != nil {
 		s.fail("serialize: " + err.Error())
 		return
 	}
@@ -392,8 +474,9 @@ func (s *Sender) transmit(seq uint32, p *Path, retx bool) {
 		s.inflight[seq] = fl
 	}
 	fl.path = p.Index
-	fl.sentAt = s.net.Sched.Now()
+	fl.sentAt = s.now()
 	fl.retx = fl.retx || retx
+	fl.gen++
 	s.stats.Sent++
 	p.Sent++
 	s.obsSent.Inc()
@@ -403,13 +486,21 @@ func (s *Sender) transmit(seq uint32, p *Path, retx bool) {
 	if retx {
 		p.Retx++
 	}
-	s.net.Send(s.node, data)
-	fl.timer = s.net.Sched.After(s.rto(p, fl.retries), func() { s.timeout(seq) })
+	d := s.rto(p, fl.retries)
+	if s.drv.Trace != nil {
+		s.tracef("tx seq=%d path=%d retx=%t rto=%d", seq, p.Index, retx, int64(d))
+	}
+	gen := fl.gen
+	fl.timer = s.drv.Clock.After(d, func() { s.timeout(seq, gen) })
 }
 
 // rto computes a path's timeout for a segment's attempt'th
 // retransmission: max(configured floor, SRTT+4·RTTVAR), backed off
-// exponentially and stretched by seeded jitter.
+// exponentially and stretched by jitter from the path's own seeded RNG
+// stream — never a shared stream, so the draw sequence (and therefore
+// the decision log) does not depend on the order in which paths happen
+// to arm timers, and simultaneous losses on two paths never produce
+// identical retransmit ticks.
 func (s *Sender) rto(p *Path, attempt int) sim.Time {
 	d := s.cfg.RTO
 	if p.SRTT > 0 {
@@ -427,7 +518,7 @@ func (s *Sender) rto(p *Path, attempt int) sim.Time {
 		}
 	}
 	if s.cfg.JitterFrac > 0 {
-		d += sim.Time(s.rng.Float64() * s.cfg.JitterFrac * float64(d))
+		d += sim.Time(p.rng.Float64() * s.cfg.JitterFrac * float64(d))
 	}
 	return d
 }
@@ -435,19 +526,25 @@ func (s *Sender) rto(p *Path, attempt int) sim.Time {
 // timeout handles a segment's retransmission timer: charge the path,
 // demote it when it keeps timing out, and re-send the segment over a
 // (possibly different) active path — or park it until probing revives
-// one.
-func (s *Sender) timeout(seq uint32) {
+// one. gen defuses stale wall-clock callbacks that fired between a
+// cancellation and the lock.
+func (s *Sender) timeout(seq uint32, gen uint32) {
 	if s.failed || seq < s.acked {
 		return
 	}
 	fl := s.inflight[seq]
-	if fl == nil {
+	if fl == nil || fl.gen != gen {
 		return
 	}
+	defer s.doFlush()
+	fl.timer = nil
 	p := s.paths[fl.path]
 	p.Timeouts++
 	p.Consec++
 	p.Loss = 0.75*p.Loss + 0.25
+	if s.drv.Trace != nil {
+		s.tracef("timeout seq=%d path=%d consec=%d loss=%.4f", seq, p.Index, p.Consec, p.Loss)
+	}
 	if p.State == PathActive && p.Consec >= s.cfg.DemoteAfter {
 		s.demote(p)
 	}
@@ -465,6 +562,9 @@ func (s *Sender) timeout(seq uint32) {
 			return
 		}
 		s.parked[seq] = true
+		if s.drv.Trace != nil {
+			s.tracef("park seq=%d", seq)
+		}
 		return
 	}
 	s.transmit(seq, s.strat.Pick(el), true)
@@ -474,28 +574,40 @@ func (s *Sender) timeout(seq uint32) {
 func (s *Sender) demote(p *Path) {
 	p.State = PathProbation
 	p.Demotions++
-	p.LastDemoteAt = s.net.Sched.Now()
+	p.LastDemoteAt = s.now()
 	p.probes = 0
 	s.stats.Demotions++
 	s.obsDemote.Inc()
+	if s.drv.Trace != nil {
+		s.tracef("demote path=%d", p.Index)
+	}
 	s.armProbe(p)
 }
 
 func (s *Sender) armProbe(p *Path) {
-	p.probeTimer = s.net.Sched.After(s.cfg.ProbeEvery, func() { s.probe(p) })
+	p.probeGen++
+	gen := p.probeGen
+	p.probeTimer = s.drv.Clock.After(s.cfg.ProbeEvery, func() { s.probe(p, gen) })
 }
 
 // probe sends a duplicate copy of the lowest unacknowledged segment
 // over a probation path. The receiver deduplicates, so the probe's only
 // effect is the ACK whose path echo proves the route delivers again.
 // MaxProbes unanswered probes declare the path dead.
-func (s *Sender) probe(p *Path) {
-	p.probeTimer = sim.EventID{}
+func (s *Sender) probe(p *Path, gen uint32) {
+	if p.probeGen != gen {
+		return
+	}
+	p.probeTimer = nil
 	if s.failed || s.Done() || p.State != PathProbation {
 		return
 	}
+	defer s.doFlush()
 	if p.probes >= s.cfg.MaxProbes {
 		p.State = PathDead
+		if s.drv.Trace != nil {
+			s.tracef("dead path=%d", p.Index)
+		}
 		if s.allDead() {
 			s.fail("all paths dead")
 		}
@@ -509,11 +621,7 @@ func (s *Sender) probe(p *Path) {
 	if int(seq) >= len(s.segments) {
 		return
 	}
-	data, err := packet.Serialize(
-		&packet.TIP{TTL: 32, Proto: packet.LayerTypeTTP, Src: s.addr, Dst: s.dst, SourceRoute: p.opt},
-		&packet.TTP{SrcPort: s.src, DstPort: s.port, Seq: seq, Window: uint16(p.Index) + 1, Next: s.contentType()},
-		&packet.Raw{Data: s.segments[seq]})
-	if err != nil {
+	if err := s.drv.Xmit(p, seq); err != nil {
 		s.fail("serialize: " + err.Error())
 		return
 	}
@@ -523,22 +631,28 @@ func (s *Sender) probe(p *Path) {
 	if p.Index < len(s.obsPathSent) {
 		s.obsPathSent[p.Index].Inc()
 	}
-	s.net.Send(s.node, data)
+	if s.drv.Trace != nil {
+		s.tracef("probe seq=%d path=%d n=%d", seq, p.Index, p.probes)
+	}
 	s.armProbe(p)
 }
 
 // promote returns a probation (or dead) path to the active set and
 // restarts striping onto it.
 func (s *Sender) promote(p *Path) {
-	s.net.Sched.Cancel(p.probeTimer)
-	p.probeTimer = sim.EventID{}
+	cancelTimer(p.probeTimer)
+	p.probeTimer = nil
+	p.probeGen++
 	p.State = PathActive
 	p.Consec = 0
 	p.probes = 0
 	p.Promotions++
-	p.LastPromoteAt = s.net.Sched.Now()
+	p.LastPromoteAt = s.now()
 	s.stats.Promotions++
 	s.obsPromote.Inc()
+	if s.drv.Trace != nil {
+		s.tracef("promote path=%d", p.Index)
+	}
 	s.pump()
 }
 
@@ -551,14 +665,19 @@ func (s *Sender) credit(p *Path) {
 	}
 }
 
-// handleAck consumes ACKs for our connection; returns false for
-// unrelated traffic.
-func (s *Sender) handleAck(data []byte) bool {
-	var tip packet.TIP
-	if err := tip.DecodeFrom(data); err != nil || tip.Proto != packet.LayerTypeTTP {
+// HandleAck consumes ACKs for our connection; returns false for
+// unrelated traffic. It is the driver senders' ingress (the wire
+// engine's read loop calls it under the sender lock); on the netsim
+// substrate Start wires it to the node's delivery hook. Hostile input
+// is tolerated: a cumulative ACK beyond the stream, an out-of-range
+// path echo, or a replayed sequence number cannot poison the
+// estimators or panic (FuzzMultipathAck pins this).
+func (s *Sender) HandleAck(data []byte) bool {
+	tip := &s.ackTip
+	if err := tip.DecodeReuse(data); err != nil || tip.Proto != packet.LayerTypeTTP {
 		return false
 	}
-	var ttp packet.TTP
+	ttp := &s.ackTTP
 	if err := ttp.DecodeFrom(tip.LayerPayload()); err != nil {
 		return false
 	}
@@ -568,18 +687,25 @@ func (s *Sender) handleAck(data []byte) bool {
 	if s.failed {
 		return true
 	}
+	defer s.doFlush()
+	if s.drv.Trace != nil {
+		s.tracef("ack cum=%d echo=%d", ttp.Ack, ttp.Window)
+	}
 	if echo := int(ttp.Window); echo >= 1 && echo <= len(s.paths) {
 		s.credit(s.paths[echo-1])
 		if s.failed {
 			return true
 		}
 	}
-	now := s.net.Sched.Now()
+	if ttp.Ack > uint32(len(s.segments)) {
+		return true // forged cumulative ACK beyond the stream: ignore
+	}
+	now := s.now()
 	switch {
 	case ttp.Ack > s.acked:
 		for seq := s.acked; seq < ttp.Ack; seq++ {
 			if fl, ok := s.inflight[seq]; ok {
-				s.net.Sched.Cancel(fl.timer)
+				cancelTimer(fl.timer)
 				p := s.paths[fl.path]
 				p.Acked++
 				p.AckedBytes += len(s.segments[seq])
@@ -610,15 +736,21 @@ func (s *Sender) handleAck(data []byte) bool {
 			el := s.eligible()
 			if len(el) > 0 {
 				if fl, ok := s.inflight[s.acked]; ok {
-					s.net.Sched.Cancel(fl.timer)
+					cancelTimer(fl.timer)
 					s.stats.Retransmissions++
 					s.obsRetx.Inc()
+					if s.drv.Trace != nil {
+						s.tracef("fast-retx seq=%d", s.acked)
+					}
 					s.transmit(s.acked, s.strat.Pick(el), true)
 					_ = fl
 				} else if s.parked[s.acked] {
 					delete(s.parked, s.acked)
 					s.stats.Retransmissions++
 					s.obsRetx.Inc()
+					if s.drv.Trace != nil {
+						s.tracef("fast-retx seq=%d", s.acked)
+					}
 					s.transmit(s.acked, s.strat.Pick(el), true)
 				}
 			}
@@ -650,8 +782,14 @@ func (s *Sender) rttSample(p *Path, sample sim.Time) {
 // cancel every outstanding timer so the transfer stops occupying
 // scheduler slots.
 func (s *Sender) finish() {
-	s.stats.Elapsed = s.net.Sched.Now() - s.started
+	s.stats.Elapsed = s.now() - s.started
+	if s.drv.Trace != nil {
+		s.tracef("done sent=%d retx=%d", s.stats.Sent, s.stats.Retransmissions)
+	}
 	s.cancelAll()
+	if s.drv.OnDone != nil {
+		s.drv.OnDone()
+	}
 }
 
 // fail records the first terminal failure and cancels all timers.
@@ -661,22 +799,29 @@ func (s *Sender) fail(reason string) {
 	}
 	s.failed = true
 	s.failReason = reason
-	s.stats.Elapsed = s.net.Sched.Now() - s.started
+	s.stats.Elapsed = s.now() - s.started
 	s.obsGiveup.Inc()
+	if s.drv.Trace != nil {
+		s.tracef("fail reason=%q", reason)
+	}
 	s.cancelAll()
+	if s.drv.OnDone != nil {
+		s.drv.OnDone()
+	}
 }
 
 func (s *Sender) cancelAll() {
 	for seq, fl := range s.inflight {
-		s.net.Sched.Cancel(fl.timer)
+		cancelTimer(fl.timer)
 		delete(s.inflight, seq)
 	}
 	for seq := range s.parked {
 		delete(s.parked, seq)
 	}
 	for _, p := range s.paths {
-		s.net.Sched.Cancel(p.probeTimer)
-		p.probeTimer = sim.EventID{}
+		cancelTimer(p.probeTimer)
+		p.probeTimer = nil
+		p.probeGen++
 	}
 }
 
@@ -705,13 +850,19 @@ type Receiver struct {
 	addr packet.Addr
 }
 
+// NewReceiverCore creates a detached reassembly core for port: no
+// network hookup, no ACK serialization. The wire engine feeds it
+// decoded segments through Accept and builds its own ACK datagrams
+// from the returned cumulative sequence number.
+func NewReceiverCore(port uint16) *Receiver {
+	return &Receiver{Port: port, buf: map[uint32][]byte{}, PathSegments: map[int]int{}}
+}
+
 // InstallReceiver attaches a multipath receiver for port at node id,
 // chaining any existing delivery handler for other traffic.
 func InstallReceiver(net *netsim.Network, id topology.NodeID, port uint16) *Receiver {
-	r := &Receiver{
-		Port: port, buf: map[uint32][]byte{}, PathSegments: map[int]int{},
-		net: net, node: id, addr: packet.MakeAddr(uint16(id), 1),
-	}
+	r := NewReceiverCore(port)
+	r.net, r.node, r.addr = net, id, packet.MakeAddr(uint16(id), 1)
 	nd := net.Node(id)
 	prev := nd.Deliver
 	nd.Deliver = func(n *netsim.Node, tr *netsim.Trace, data []byte) {
@@ -720,6 +871,33 @@ func InstallReceiver(net *netsim.Network, id topology.NodeID, port uint16) *Rece
 		}
 	}
 	return r
+}
+
+// Accept ingests one data segment (sequence number, payload, 1-based
+// path echo) and returns the cumulative ACK to send: the next expected
+// sequence number. The in-order fast path appends straight to Data
+// without an intermediate copy, so a steady in-order stream allocates
+// only for Data growth.
+func (r *Receiver) Accept(seq uint32, payload []byte, echo int) uint32 {
+	switch {
+	case seq == r.next:
+		r.Data = append(r.Data, payload...)
+		r.next++
+		r.PathSegments[echo]++
+	case seq > r.next && r.buf[seq] == nil:
+		p := make([]byte, len(payload))
+		copy(p, payload)
+		r.buf[seq] = p
+		r.PathSegments[echo]++
+	default:
+		r.Dups++
+	}
+	for r.buf[r.next] != nil {
+		r.Data = append(r.Data, r.buf[r.next]...)
+		delete(r.buf, r.next)
+		r.next++
+	}
+	return r.next
 }
 
 // handle consumes data segments for our port; returns false for
@@ -736,24 +914,11 @@ func (r *Receiver) handle(data []byte) bool {
 	if ttp.Flags&packet.FlagACK != 0 {
 		return false // ACKs are for senders
 	}
-	seq := ttp.Seq
-	if seq >= r.next && r.buf[seq] == nil {
-		payload := make([]byte, len(ttp.LayerPayload()))
-		copy(payload, ttp.LayerPayload())
-		r.buf[seq] = payload
-		r.PathSegments[int(ttp.Window)]++
-	} else {
-		r.Dups++
-	}
-	for r.buf[r.next] != nil {
-		r.Data = append(r.Data, r.buf[r.next]...)
-		delete(r.buf, r.next)
-		r.next++
-	}
+	ackNo := r.Accept(ttp.Seq, ttp.LayerPayload(), int(ttp.Window))
 	ack, err := packet.Serialize(
 		&packet.TIP{TTL: 32, Proto: packet.LayerTypeTTP, Src: r.addr, Dst: tip.Src,
-			SourceRoute: reverseRoute(tip.SourceRoute)},
-		&packet.TTP{SrcPort: r.Port, DstPort: ttp.SrcPort, Ack: r.next,
+			SourceRoute: ReverseRoute(tip.SourceRoute)},
+		&packet.TTP{SrcPort: r.Port, DstPort: ttp.SrcPort, Ack: ackNo,
 			Flags: packet.FlagACK, Window: ttp.Window, Next: packet.LayerTypeRaw},
 		&packet.Raw{Data: nil})
 	if err == nil {
@@ -763,9 +928,9 @@ func (r *Receiver) handle(data []byte) bool {
 	return true
 }
 
-// reverseRoute builds the ACK's source route: the data segment's
-// waypoints in reverse.
-func reverseRoute(sr *packet.SourceRouteOption) *packet.SourceRouteOption {
+// ReverseRoute builds the ACK's source route: the data segment's
+// waypoints in reverse. Nil in, nil out.
+func ReverseRoute(sr *packet.SourceRouteOption) *packet.SourceRouteOption {
 	if sr == nil || len(sr.Hops) == 0 {
 		return nil
 	}

@@ -31,6 +31,15 @@ type Config struct {
 	// Echo sends delivered datagrams back to their sender — the
 	// loopback benchmark and smoke-test mode.
 	Echo bool
+	// Deliver, if set, intercepts delivered datagrams (after the
+	// dataplane's Deliver decision). A non-nil return is sent back to
+	// the datagram's source address through the worker's transmit
+	// batch — the multipath receiver answers data segments with ACKs
+	// this way. Returning nil falls through to Echo. The hook is called
+	// concurrently from every worker and must be safe for that; the
+	// returned slice must stay valid until the worker's batch flushes
+	// (MultipathReceiver sizes its ACK ring for this).
+	Deliver func(data []byte, from netip.AddrPort) []byte
 	// NewDataplane builds one decision kernel per worker. Per-worker
 	// instances exist because stateful middleboxes (NAT) are not
 	// goroutine-safe. Nil means a deliver-only node 0 (pure echo/sink).
@@ -74,6 +83,7 @@ type tally struct {
 	delivered  uint64
 	forwarded  uint64
 	echoed     uint64
+	replied    uint64
 	noPeer     uint64
 	sent       uint64
 	sendErrors uint64
@@ -88,6 +98,7 @@ type wstats struct {
 	delivered  atomic.Uint64
 	forwarded  atomic.Uint64
 	echoed     atomic.Uint64
+	replied    atomic.Uint64
 	noPeer     atomic.Uint64
 	sent       atomic.Uint64
 	sendErrors atomic.Uint64
@@ -108,6 +119,7 @@ func (s *wstats) flush(t *tally) {
 	s.delivered.Add(t.delivered)
 	s.forwarded.Add(t.forwarded)
 	s.echoed.Add(t.echoed)
+	s.replied.Add(t.replied)
 	s.noPeer.Add(t.noPeer)
 	s.sent.Add(t.sent)
 	s.sendErrors.Add(t.sendErrors)
@@ -121,6 +133,7 @@ type Stats struct {
 	Delivered  uint64
 	Forwarded  uint64
 	Echoed     uint64
+	Replied    uint64
 	NoPeer     uint64
 	Sent       uint64
 	SendErrors uint64
@@ -142,8 +155,8 @@ func (s Stats) TotalDropped() uint64 {
 // -filter-stats output the smoke test greps).
 func (s Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "received=%d accepted=%d delivered=%d forwarded=%d echoed=%d sent=%d no-peer=%d send-errors=%d\n",
-		s.Received, s.Accepted(), s.Delivered, s.Forwarded, s.Echoed, s.Sent, s.NoPeer, s.SendErrors)
+	fmt.Fprintf(&b, "received=%d accepted=%d delivered=%d forwarded=%d echoed=%d replied=%d sent=%d no-peer=%d send-errors=%d\n",
+		s.Received, s.Accepted(), s.Delivered, s.Forwarded, s.Echoed, s.Replied, s.Sent, s.NoPeer, s.SendErrors)
 	b.WriteString("filter:")
 	for v := packet.FilterVerdict(1); int(v) < packet.FilterVerdicts; v++ {
 		fmt.Fprintf(&b, " %s=%d", v, s.Filtered[v])
@@ -299,6 +312,7 @@ func (e *Engine) Stats() Stats {
 		s.Delivered += w.st.delivered.Load()
 		s.Forwarded += w.st.forwarded.Load()
 		s.Echoed += w.st.echoed.Load()
+		s.Replied += w.st.replied.Load()
 		s.NoPeer += w.st.noPeer.Load()
 		s.Sent += w.st.sent.Load()
 		s.SendErrors += w.st.sendErrors.Load()
@@ -334,6 +348,7 @@ func (w *worker) handle(n int) {
 	var t tally
 	w.txq = w.txq[:0]
 	echo := w.eng.cfg.Echo
+	deliver := w.eng.cfg.Deliver
 	for i := 0; i < n; i++ {
 		data := w.rxBuf[i][:w.rx.length(i)]
 		t.received++
@@ -349,6 +364,13 @@ func (w *worker) handle(n int) {
 		switch dec.Kind {
 		case Deliver:
 			t.delivered++
+			if deliver != nil {
+				if reply := deliver(dec.Data, w.rx.from(i)); reply != nil {
+					w.txq = append(w.txq, txEntry{addr: w.rx.from(i), data: reply})
+					t.replied++
+					continue
+				}
+			}
 			if echo {
 				w.txq = append(w.txq, txEntry{addr: w.rx.from(i), data: dec.Data})
 				t.echoed++

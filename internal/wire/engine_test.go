@@ -269,44 +269,84 @@ func TestEngineDifferentialOverUDP(t *testing.T) {
 // filter, decode, decision, echo batch — at near-zero allocations per
 // packet once warm. The budget (0.05 allocs/packet) absorbs runtime
 // incidentals (netpoller wakeups, timer churn) while still catching any
-// per-packet allocation, which would cost ≥1.
+// per-packet allocation, which would cost ≥1. The striped phase runs
+// the same gate with a MultipathReceiver installed as the delivery
+// hook, so every datagram is a data segment that draws a
+// template-patched ACK — the multipath ACK fast path must be as
+// alloc-free as the echo path.
 func TestEngineSteadyStateAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc gate needs a sustained run")
 	}
-	eng := startEngine(t, Config{Echo: true, Workers: 1})
-	good, err := packet.Serialize(
-		&packet.TIP{TTL: 8, Proto: packet.LayerTypeRaw, Src: packet.MakeAddr(1, 1), Dst: packet.MakeAddr(0, 1)},
-		&packet.Raw{Data: []byte("steady")})
-	if err != nil {
-		t.Fatal(err)
+	gate := func(t *testing.T, eng *Engine, pkts [][]byte) {
+		t.Helper()
+		warm := func(count int) BlastResult {
+			res, err := Blast(BlastConfig{Target: eng.Addr(), Count: count, Packets: pkts, Echo: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		warm(5000) // fault in lazy runtime state on both sides
+
+		engBefore := eng.Stats()
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		const count = 20000
+		warm(count)
+		runtime.ReadMemStats(&after)
+		engAfter := eng.Stats()
+
+		processed := engAfter.Received - engBefore.Received
+		if processed < count/2 {
+			t.Fatalf("engine processed only %d of %d in the measured window", processed, count)
+		}
+		// Mallocs counts both the engine and the blast client; both
+		// sides must be alloc-free per packet for the gate to pass.
+		perPkt := float64(after.Mallocs-before.Mallocs) / float64(processed)
+		if perPkt > 0.05 {
+			t.Fatalf("steady state costs %.3f allocs/packet over %d packets, want ≤0.05", perPkt, processed)
+		}
 	}
-	warm := func(count int) BlastResult {
-		res, err := Blast(BlastConfig{Target: eng.Addr(), Count: count, Packets: [][]byte{good}, Echo: true})
+
+	t.Run("echo", func(t *testing.T) {
+		eng := startEngine(t, Config{Echo: true, Workers: 1})
+		good, err := packet.Serialize(
+			&packet.TIP{TTL: 8, Proto: packet.LayerTypeRaw, Src: packet.MakeAddr(1, 1), Dst: packet.MakeAddr(0, 1)},
+			&packet.Raw{Data: []byte("steady")})
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res
-	}
-	warm(5000) // fault in lazy runtime state on both sides
+		gate(t, eng, [][]byte{good})
+	})
 
-	engBefore := eng.Stats()
-	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	const count = 20000
-	warm(count)
-	runtime.ReadMemStats(&after)
-	engAfter := eng.Stats()
-
-	processed := engAfter.Received - engBefore.Received
-	if processed < count/2 {
-		t.Fatalf("engine processed only %d of %d in the measured window", processed, count)
-	}
-	// Mallocs counts both the engine and the blast client; both sides
-	// must be alloc-free per packet for the gate to pass.
-	perPkt := float64(after.Mallocs-before.Mallocs) / float64(processed)
-	if perPkt > 0.05 {
-		t.Fatalf("steady state costs %.3f allocs/packet over %d packets, want ≤0.05", perPkt, processed)
-	}
+	t.Run("striped", func(t *testing.T) {
+		rcv := NewMultipathReceiver(0, 7777, 256)
+		eng := startEngine(t, Config{Echo: true, Workers: 1, Deliver: rcv.Deliver})
+		// Data segments with a fixed sequence number and rotating path
+		// echoes: after the first, every arrival is a duplicate (no
+		// stream growth), but each still takes the full ACK fast path —
+		// Accept, template lookup, ring copy, patch — and the reply
+		// flows back through the engine's transmit batch.
+		var segs [][]byte
+		for w := uint16(1); w <= 3; w++ {
+			seg, err := packet.Serialize(
+				&packet.TIP{TTL: 8, Proto: packet.LayerTypeTTP, Src: packet.MakeAddr(1, 1), Dst: packet.MakeAddr(0, 1)},
+				&packet.TTP{SrcPort: 41000, DstPort: 7777, Seq: 0, Window: w, Next: packet.LayerTypeRaw},
+				&packet.Raw{Data: make([]byte, 512)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			segs = append(segs, seg)
+		}
+		gate(t, eng, segs)
+		sum := rcv.Summary()
+		if sum.Acks == 0 {
+			t.Fatal("striped phase never exercised the multipath ACK path")
+		}
+		if sum.Bytes != 512 {
+			t.Fatalf("duplicate segments grew the stream to %d bytes, want 512", sum.Bytes)
+		}
+	})
 }

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/transport/multipath"
+)
+
+// WallClock runs the multipath state machine on real time: Now is
+// nanoseconds since the clock's construction, After is time.AfterFunc.
+// Every callback takes the clock's mutex before running, and the
+// sender's other entry points (Start, HandleAck) hold the same mutex,
+// so the state machine sees the strictly serial world it was written
+// for — the one the simulator's scheduler provides by construction.
+// Callbacks that fire while a cancellation is waiting for the lock are
+// defused by the state machine's generation counters, not by the clock.
+type WallClock struct {
+	mu    sync.Mutex
+	epoch time.Time
+}
+
+// NewWallClock starts a wall clock at t=0.
+func NewWallClock() *WallClock {
+	return &WallClock{epoch: time.Now()}
+}
+
+// Now returns nanoseconds since the clock's epoch.
+func (c *WallClock) Now() sim.Time { return sim.Time(time.Since(c.epoch)) }
+
+// After arms fn to run once, d from now, serialized under the clock's
+// lock.
+func (c *WallClock) After(d sim.Time, fn func()) multipath.Timer {
+	if d < 0 {
+		d = 0
+	}
+	return wallTimer{time.AfterFunc(time.Duration(d), func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		fn()
+	})}
+}
+
+// Lock takes the clock's serialization lock (for non-timer entry
+// points into the state machine).
+func (c *WallClock) Lock() { c.mu.Lock() }
+
+// Unlock releases the serialization lock.
+func (c *WallClock) Unlock() { c.mu.Unlock() }
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) Cancel() { w.t.Stop() }
